@@ -1,0 +1,40 @@
+"""Benchmark fixtures: one shared experiment context per session.
+
+Each benchmark regenerates one table/figure of the paper.  The rendered
+result is printed and also written to ``benchmarks/results/<id>.txt`` so a
+run leaves a reviewable artifact trail (EXPERIMENTS.md points here).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import SMALL
+from repro.experiments.shared import build_context
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SMALL
+
+
+@pytest.fixture(scope="session")
+def context(scale):
+    """Marketplace + trained separate/joint pairs, built once per session."""
+    return build_context(scale)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        text = result.render()
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,13 @@
+"""Figure 5 / Section III-H — merged syntax tree vs per-query trees."""
+
+from repro.experiments import fig5
+
+
+def test_fig5_tree_merge(benchmark, context, scale, save_result):
+    result = benchmark.pedantic(lambda: fig5.run(scale), rounds=1, iterations=1)
+    save_result(result)
+    measured = result.measured
+    # The optimization must save aggregate postings accesses and tree nodes.
+    assert measured["total_postings_ratio"] < 1.0
+    assert measured["mean_nodes_ratio"] <= 1.0
+    assert measured["queries_evaluated"] >= 5

@@ -1,0 +1,13 @@
+"""Figure 6 — attention heat maps of the two translation hops."""
+
+import numpy as np
+
+from repro.experiments import fig6
+
+
+def test_fig6_attention_heatmaps(benchmark, context, scale, save_result):
+    result = benchmark.pedantic(lambda: fig6.run(scale), rounds=1, iterations=1)
+    save_result(result)
+    assert result.measured["title"], "forward hop produced no synthetic title"
+    assert result.measured["rewrite"], "backward hop produced no rewrite"
+    assert "hop 1" in result.rendered and "hop 2" in result.rendered

@@ -1,0 +1,26 @@
+"""Figure 7 — convergence of separate vs joint training on all metrics."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_convergence(benchmark, context, scale, save_result):
+    result = benchmark.pedantic(lambda: fig7.run(scale), rounds=1, iterations=1)
+    save_result(result)
+    measured = result.measured
+    # The paper's central quantitative claim: joint training ends with a
+    # better q2q translate-back log probability than separate training.
+    assert (
+        measured["joint_q2q_log_prob_final"]
+        > measured["separate_q2q_log_prob_final"]
+    )
+    # ... and a lower q2q perplexity.
+    assert (
+        measured["joint_q2q_perplexity_final"]
+        < measured["separate_q2q_perplexity_final"]
+    )
+    # t2q quality is not destroyed by joint training (paper: "keeps the same";
+    # allow a generous band at this scale).
+    assert (
+        measured["joint_t2q_perplexity_final"]
+        < 2.0 * measured["separate_t2q_perplexity_final"]
+    )

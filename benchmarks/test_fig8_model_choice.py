@@ -1,0 +1,14 @@
+"""Figure 8 — transformer vs attention-based (Bahdanau GRU) NMT."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_transformer_vs_attention(benchmark, context, scale, save_result):
+    result = benchmark.pedantic(lambda: fig8.run(scale), rounds=1, iterations=1)
+    save_result(result)
+    transformer = result.measured["transformer"]
+    attention = result.measured["attention"]
+    # Paper: transformer clearly better; require it on at least perplexity
+    # and accuracy (log-prob is length-sensitive and noisier).
+    assert transformer["perplexity"] < attention["perplexity"]
+    assert transformer["accuracy"] > attention["accuracy"]

@@ -1,0 +1,14 @@
+"""Figure 9 — pure RNN vs hybrid (transformer encoder + RNN decoder) on q2q."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_rnn_vs_hybrid(benchmark, context, scale, save_result):
+    result = benchmark.pedantic(lambda: fig9.run(scale), rounds=1, iterations=1)
+    save_result(result)
+    hybrid = result.measured["hybrid"]
+    rnn = result.measured["rnn"]
+    # Paper: the hybrid is significantly better — the transformer encoder
+    # is worth keeping even under serving-latency constraints.
+    assert hybrid["perplexity"] < rnn["perplexity"]
+    assert hybrid["accuracy"] > rnn["accuracy"]

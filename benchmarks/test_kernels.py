@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the hot kernels (true pytest-benchmark statistics).
+
+These complement the per-table experiment benches with repeated-measurement
+timings of the operations that dominate production cost: one training step,
+one two-hop rewrite, one cached lookup, one merged-tree retrieval.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CyclicRewriter, RewriteCache, RewriterConfig
+from repro.search import SearchConfig, SearchEngine
+
+
+@pytest.fixture(scope="module")
+def joint_rewriter(context):
+    return context.rewriter("joint")
+
+
+def test_kernel_cyclic_train_step(benchmark, context):
+    """One Algorithm-1 step (with cyclic loss active)."""
+    from repro.models import TransformerNMT
+    from repro.training import CyclicConfig, CyclicTrainer
+
+    scale = context.scale
+    marketplace = context.marketplace
+    from repro.experiments.shared import make_models
+
+    forward, backward = make_models(scale, len(marketplace.vocab))
+    trainer = CyclicTrainer(
+        forward, backward, marketplace.train_pairs, marketplace.vocab,
+        CyclicConfig(batch_size=8, warmup_steps=0, beam_width=2, top_n=5,
+                     max_title_len=12, seed=0),
+    )
+    benchmark(trainer.train_step)
+
+
+def test_kernel_two_hop_rewrite(benchmark, context, joint_rewriter):
+    """Full Figure-3 inference for one query (the paper's >100 ms path)."""
+    query = context.evaluation_queries(1)[0]
+    result = benchmark(lambda: joint_rewriter.rewrite(query))
+    assert isinstance(result, list)
+
+
+def test_kernel_cache_lookup(benchmark, context, joint_rewriter):
+    """Cache-tier lookup (the paper's <5 ms path)."""
+    queries = context.evaluation_queries(8)
+    cache = RewriteCache()
+    cache.populate(joint_rewriter, queries, k=3)
+    benchmark(lambda: cache.get(queries[0]))
+
+
+def test_kernel_merged_tree_retrieval(benchmark, context, joint_rewriter):
+    """Merged-tree retrieval of original + 3 rewrites."""
+    engine = SearchEngine(context.marketplace.catalog, SearchConfig(merge_trees=True))
+    query = context.evaluation_queries(1)[0]
+    rewrites = [r.text for r in joint_rewriter.rewrite(query, k=3)]
+    outcome = benchmark(lambda: engine.search(query, rewrites))
+    assert outcome.num_trees == 1
+
+
+def test_kernel_separate_trees_retrieval(benchmark, context, joint_rewriter):
+    """The naive per-query-tree retrieval the paper rejects (for contrast)."""
+    engine = SearchEngine(context.marketplace.catalog, SearchConfig(merge_trees=False))
+    query = context.evaluation_queries(1)[0]
+    rewrites = [r.text for r in joint_rewriter.rewrite(query, k=3)]
+    outcome = benchmark(lambda: engine.search(query, rewrites))
+    assert outcome.num_trees >= 1

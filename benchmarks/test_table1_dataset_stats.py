@@ -1,0 +1,13 @@
+"""Table I — dataset statistics of the (synthetic) click log."""
+
+from repro.experiments import table1
+
+
+def test_table1_dataset_stats(benchmark, context, scale, save_result):
+    result = benchmark.pedantic(lambda: table1.run(scale), rounds=1, iterations=1)
+    save_result(result)
+    measured = result.measured
+    # Structural facts the paper's models rely on must hold at any scale.
+    assert measured["num_query_item_pairs"] > 100
+    assert measured["avg_title_words"] > 2 * measured["avg_query_words"]
+    assert measured["vocab_size"] > 100

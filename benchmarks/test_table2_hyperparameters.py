@@ -1,0 +1,14 @@
+"""Table II — hyperparameter record (paper vs scaled reproduction)."""
+
+from repro.experiments import table2
+
+
+def test_table2_hyperparameters(benchmark, scale, save_result):
+    result = benchmark.pedantic(lambda: table2.run(scale), rounds=1, iterations=1)
+    save_result(result)
+    # The q2t model must stay deeper than the t2q model, as in the paper.
+    assert (
+        result.measured["query_to_title"]["transformer_layers"]
+        > result.measured["title_to_query"]["transformer_layers"] - 1
+    )
+    assert result.paper["query_to_title"]["transformer_layers"] == 4

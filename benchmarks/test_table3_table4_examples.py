@@ -1,0 +1,13 @@
+"""Tables III & IV — showcase rewrites from separate and joint models."""
+
+from repro.experiments import examples_tables
+
+
+def test_table3_table4_example_rewrites(benchmark, context, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: examples_tables.run(scale), rounds=1, iterations=1
+    )
+    save_result(result)
+    # Every showcase query must produce at least one joint rewrite.
+    produced = [q for q, r in result.measured.items() if r["joint"]]
+    assert len(produced) >= 3, f"joint model rewrote only {produced}"

@@ -1,0 +1,18 @@
+"""Table V — encoder/decoder latency of RNN, GRU and transformer models."""
+
+from repro.experiments import table5
+
+
+def test_table5_latency(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: table5.run(scale, repeats=7), rounds=1, iterations=1
+    )
+    save_result(result)
+    measured = result.measured
+    # The paper's key ordering: the transformer decoder is the slowest
+    # decoder (its per-step self-attention re-reads the whole prefix).
+    assert measured["decoder"]["transformer"] > measured["decoder"]["rnn"]
+    assert measured["decoder"]["transformer"] > measured["decoder"]["gru"]
+    # Decoders dominate encoders for every family (15 steps vs 1 pass).
+    for kind in ("rnn", "gru", "transformer"):
+        assert measured["decoder"][kind] > measured["encoder"][kind]

@@ -1,0 +1,88 @@
+"""Polysemy: where learned rewriting beats the rule dictionary.
+
+The paper's Section IV-C2 example: a human-curated dictionary maps "cherry"
+to the keyboard-brand reading, so a user searching cherry *fruit* gets
+keyboard rewrites.  The translation model instead reads the context tokens.
+
+This example compares both methods on polysemous queries ("cherry",
+"apple") in fruit vs electronics contexts, judged by the simulated labeler
+against the ground-truth intent.
+
+Usage::
+
+    python examples/polysemy_disambiguation.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import RuleBasedRewriter
+from repro.core import CyclicRewriter, RewriterConfig
+from repro.data import MarketplaceConfig, build_rule_dictionary, generate_marketplace
+from repro.data.catalog import CatalogConfig
+from repro.data.clicklog import ClickLogConfig
+from repro.data.domain import Intent
+from repro.evaluation import LabelerConfig, SimulatedLabeler
+from repro.models import ModelConfig, TransformerNMT
+from repro.training import CyclicConfig, CyclicTrainer
+
+CASES = [
+    ("cherry produce", Intent(category="fruit", brand="cherry")),
+    ("sweet cherry fruit", Intent(category="fruit", brand="cherry")),
+    ("cherry mechanical keypad", Intent(category="keyboard", brand="cherry")),
+    ("apple fresh fruit", Intent(category="fruit", brand="apple")),
+    ("apple cellphone", Intent(category="phone", brand="apple")),
+]
+
+
+def main() -> None:
+    market = generate_marketplace(
+        MarketplaceConfig(
+            catalog=CatalogConfig(products_per_category=20),
+            clicks=ClickLogConfig(num_sessions=6000, intent_pool_size=400),
+            seed=0,
+        )
+    )
+    vocab = market.vocab
+    print("training the joint model...")
+    forward = TransformerNMT(
+        ModelConfig(vocab_size=len(vocab), d_model=32, num_heads=4, d_ff=64,
+                    encoder_layers=2, decoder_layers=2, dropout=0.0, seed=0))
+    backward = TransformerNMT(
+        ModelConfig(vocab_size=len(vocab), d_model=32, num_heads=4, d_ff=64,
+                    encoder_layers=1, decoder_layers=1, dropout=0.0, seed=1))
+    CyclicTrainer(
+        forward, backward, market.train_pairs, vocab,
+        CyclicConfig(batch_size=16, warmup_steps=170, max_steps=340,
+                     beam_width=3, top_n=5, max_title_len=14, seed=0),
+    ).train()
+
+    joint = CyclicRewriter(
+        forward, backward, vocab,
+        RewriterConfig(k=3, top_n=5, max_title_len=14, max_query_len=8, seed=0))
+    rules = RuleBasedRewriter(build_rule_dictionary())
+    labeler = SimulatedLabeler(market.catalog, LabelerConfig(noise=0.0))
+
+    print(f"\n{'query':28s} {'method':6s} {'rewrites':44s} {'judge':>6s}")
+    print("-" * 92)
+    score = {"rule": 0.0, "joint": 0.0}
+    for query, intent in CASES:
+        for name, method in (("rule", rules), ("joint", joint)):
+            rewrites = [r.text for r in method.rewrite(query, k=2)]
+            relevance = labeler.best_relevance(intent, rewrites) if rewrites else 0.0
+            score[name] += relevance
+            display = "; ".join(rewrites)[:44] or "(none)"
+            print(f"{query:28s} {name:6s} {display:44s} {relevance:6.2f}")
+        print()
+    print(f"total judge score — rule-based: {score['rule']:.2f}, joint model: {score['joint']:.2f}")
+    print(
+        "\nWhat to look for: the dictionary rewrites 'cherry' toward keyboards even\n"
+        "in fruit contexts (the paper's §IV-C2 failure), while the model reads the\n"
+        "context tokens and stays in the fruit category.  At this training scale\n"
+        "the model sometimes trades away the brand/variety token (e.g. cherry ->\n"
+        "orange), which the intent judge penalizes — the paper's full-scale model\n"
+        "keeps it.  Totals above reflect whichever effect dominates on this seed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Semantic matching: how rewrites fix inverted-index recall.
+
+The paper's motivating failure: "it is almost impossible to retrieve items
+titled 'senior mobile phones' for a query 'cellphone for grandpa'" — the
+terms simply don't match.  This example measures that failure and the fix:
+
+1. retrieve colloquial queries against the inverted index — low recall;
+2. add model rewrites (merged into one syntax tree, Section III-H);
+3. report relevant-recall before/after and the retrieval cost of the merged
+   tree vs naive per-query trees.
+
+Usage::
+
+    python examples/semantic_matching_recall.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CyclicRewriter, RewriterConfig
+from repro.data import MarketplaceConfig, generate_marketplace
+from repro.data.catalog import CatalogConfig
+from repro.data.clicklog import ClickLogConfig
+from repro.data.domain import QueryStyle
+from repro.models import ModelConfig, TransformerNMT
+from repro.search import SearchEngine
+from repro.training import CyclicConfig, CyclicTrainer
+
+
+def train_rewriter(market):
+    vocab_size = len(market.vocab)
+    forward = TransformerNMT(
+        ModelConfig(vocab_size=vocab_size, d_model=32, num_heads=4, d_ff=64,
+                    encoder_layers=2, decoder_layers=2, dropout=0.0, seed=0)
+    )
+    backward = TransformerNMT(
+        ModelConfig(vocab_size=vocab_size, d_model=32, num_heads=4, d_ff=64,
+                    encoder_layers=1, decoder_layers=1, dropout=0.0, seed=1)
+    )
+    CyclicTrainer(
+        forward, backward, market.train_pairs, market.vocab,
+        CyclicConfig(batch_size=16, warmup_steps=170, max_steps=340,
+                     beam_width=3, top_n=5, max_title_len=14, seed=0),
+    ).train()
+    return CyclicRewriter(
+        forward, backward, market.vocab,
+        RewriterConfig(k=3, top_n=5, max_title_len=14, max_query_len=8, seed=0),
+    )
+
+
+def relevant_count(catalog, intent, doc_ids, threshold=0.3) -> int:
+    return sum(1 for d in doc_ids if intent.matches(catalog.get(d)) > threshold)
+
+
+def main() -> None:
+    market = generate_marketplace(
+        MarketplaceConfig(
+            catalog=CatalogConfig(products_per_category=20),
+            clicks=ClickLogConfig(num_sessions=6000, intent_pool_size=400),
+            seed=0,
+        )
+    )
+    print("training the rewriter (about a minute)...")
+    rewriter = train_rewriter(market)
+    engine = SearchEngine(market.catalog)
+
+    colloquial = [
+        record
+        for record in market.click_log.queries.values()
+        if record.style in (QueryStyle.COLLOQUIAL, QueryStyle.NATURAL)
+        and record.total_clicks >= 3
+    ][:20]
+
+    print(f"\n{'query':38s} {'base':>5s} {'+rewrites':>9s}  cost merged/separate")
+    print("-" * 80)
+    total_base = total_extended = 0
+    for record in colloquial:
+        rewrites = [r.text for r in rewriter.rewrite(record.text)]
+        base = engine.search(record.text)
+        extended = engine.search(record.text, rewrites)
+        base_relevant = relevant_count(market.catalog, record.intent, base.doc_ids)
+        extended_relevant = relevant_count(market.catalog, record.intent, extended.doc_ids)
+        total_base += base_relevant
+        total_extended += extended_relevant
+        if rewrites:
+            costs = engine.compare_costs(record.text, rewrites)
+            ratio = f"{costs['postings_ratio']:.2f}"
+        else:
+            ratio = "-"
+        print(f"{record.text[:38]:38s} {base_relevant:5d} {extended_relevant:9d}  {ratio}")
+
+    print("-" * 80)
+    lift = (total_extended - total_base) / max(1, total_base)
+    print(
+        f"relevant items retrieved: {total_base} -> {total_extended} "
+        f"({lift:+.0%} recall from rewriting)"
+    )
+
+
+if __name__ == "__main__":
+    main()

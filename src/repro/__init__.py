@@ -1,0 +1,16 @@
+"""Reproduction of "Query Rewriting via Cycle-Consistent Translation for
+E-Commerce Search" (Qiu et al., ICDE 2021).
+
+The public API re-exports the most commonly used entry points; see the
+subpackages for the full surface:
+
+- :mod:`repro.autograd`, :mod:`repro.nn`, :mod:`repro.optim` — NumPy neural substrate
+- :mod:`repro.text`, :mod:`repro.data` — tokenization and the synthetic marketplace
+- :mod:`repro.models`, :mod:`repro.decoding`, :mod:`repro.training` — NMT models,
+  decoders, and the cyclic-consistent training algorithm
+- :mod:`repro.core` — the query rewriter (inference pipeline, cache, serving)
+- :mod:`repro.baselines`, :mod:`repro.search`, :mod:`repro.embedding`,
+  :mod:`repro.evaluation`, :mod:`repro.experiments`
+"""
+
+__version__ = "1.0.0"

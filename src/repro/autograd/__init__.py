@@ -1,0 +1,43 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This package is the tensor substrate for the whole reproduction: the paper
+trains transformer / GRU / RNN translation models, and no deep-learning
+framework is available offline, so we implement a small but complete
+autograd engine here.
+
+The public surface is the :class:`Tensor` class plus a handful of
+free functions (``concat``, ``stack``, ``where``, ``logsumexp``, ...), and
+the :func:`no_grad` context manager used during decoding/inference.
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    concat,
+    stack,
+    where,
+    maximum,
+    minimum,
+    logsumexp,
+    no_grad,
+    is_grad_enabled,
+    tensor,
+    zeros,
+    ones,
+    arange,
+)
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "logsumexp",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "arange",
+]

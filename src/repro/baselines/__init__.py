@@ -1,0 +1,13 @@
+"""Baseline query-rewriting methods the paper compares against.
+
+* :class:`RuleBasedRewriter` — the production baseline of Tables VI/VII: a
+  human-curated synonym-phrase dictionary applied by replacement.
+* :class:`SimRankPP` — SimRank++ (Antonellis et al., 2008), the classic
+  click-graph rewriting method reviewed in Section II-C; included as an
+  additional related-work baseline.
+"""
+
+from repro.baselines.rule_based import RuleBasedRewriter
+from repro.baselines.simrank import SimRankPP, SimRankConfig
+
+__all__ = ["RuleBasedRewriter", "SimRankPP", "SimRankConfig"]

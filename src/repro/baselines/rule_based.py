@@ -1,0 +1,76 @@
+"""Rule-based query rewriting (the paper's production baseline).
+
+"The method starts from a human-curated synonym phrase dictionary.  For a
+given query, it simply replaces the phrase in the query with its synonym
+phrase from the dictionary, to generate the rewritten query."  (§IV-C3)
+
+Strengths and weaknesses reproduce accordingly: rewrites are lexically very
+close to the original (high F1, low edit distance in Table VII) and
+context-blind — a polysemous term is always rewritten toward the
+dictionary's single reading (the "cherry" failure of §IV-C2).
+"""
+
+from __future__ import annotations
+
+from repro.core.rewriter import RewriteResult
+from repro.text import tokenize
+
+
+class RuleBasedRewriter:
+    """Dictionary-replacement rewriter.
+
+    Parameters
+    ----------
+    rules:
+        phrase -> replacement-phrase map.  Multi-token phrases are
+        supported on both sides; matching is greedy longest-phrase-first at
+        each position.
+    """
+
+    def __init__(self, rules: dict[str, str]):
+        self.rules = {
+            tuple(tokenize(phrase)): tuple(tokenize(replacement))
+            for phrase, replacement in rules.items()
+        }
+        self._max_phrase_len = max((len(p) for p in self.rules), default=1)
+
+    def rewrite(self, query: str | list[str], k: int = 3) -> list[RewriteResult]:
+        """Up to ``k`` rewrites, each replacing one matched phrase.
+
+        One rewrite is generated per matched phrase occurrence (leftmost
+        first), mirroring the single-substitution behaviour of the
+        production dictionary.
+        """
+        tokens = tokenize(query) if isinstance(query, str) else list(query)
+        results: list[RewriteResult] = []
+        seen: set[tuple[str, ...]] = {tuple(tokens)}
+        for start in range(len(tokens)):
+            if len(results) >= k:
+                break
+            match = self._match_at(tokens, start)
+            if match is None:
+                continue
+            phrase, replacement = match
+            rewritten = tuple(tokens[:start] + list(replacement) + tokens[start + len(phrase):])
+            if rewritten in seen:
+                continue
+            seen.add(rewritten)
+            results.append(RewriteResult(tokens=rewritten, log_prob=0.0))
+        return results
+
+    def _match_at(
+        self, tokens: list[str], start: int
+    ) -> tuple[tuple[str, ...], tuple[str, ...]] | None:
+        """Longest dictionary phrase starting at ``start``, if any."""
+        limit = min(self._max_phrase_len, len(tokens) - start)
+        for length in range(limit, 0, -1):
+            phrase = tuple(tokens[start : start + length])
+            replacement = self.rules.get(phrase)
+            if replacement is not None and replacement != phrase:
+                return phrase, replacement
+        return None
+
+    def has_rule_for(self, query: str | list[str]) -> bool:
+        """Whether any dictionary phrase occurs in the query."""
+        tokens = tokenize(query) if isinstance(query, str) else list(query)
+        return any(self._match_at(tokens, i) is not None for i in range(len(tokens)))

@@ -1,0 +1,31 @@
+"""The query rewriter — the paper's primary contribution.
+
+* :class:`CyclicRewriter` — the two-hop inference pipeline of Figure 3:
+  query → k synthetic titles → k² synthetic queries → merge & top-k by
+  ``P(x'|x) = Σ_t P(y_t|x; θ_f) P(x'|y_t; θ_b)``.
+* :class:`DirectRewriter` — the low-latency query-to-query model of
+  Section III-G (one decode instead of two).
+* :class:`RewriteCache` — the offline key-value store covering head
+  queries (the paper precomputes the top 8M, ~80% of traffic).
+* :class:`ServingPipeline` — cache-first serving with a model fallback and
+  latency accounting.
+"""
+
+from repro.core.rewriter import CyclicRewriter, DirectRewriter, RewriteResult, RewriterConfig
+from repro.core.cache import RewriteCache
+from repro.core.serving import ServingPipeline, ServingConfig, ServedRewrite
+from repro.core.lm_rewriter import LMRewriter, LMRewriterConfig, build_lm_sequences
+
+__all__ = [
+    "CyclicRewriter",
+    "DirectRewriter",
+    "RewriteResult",
+    "RewriterConfig",
+    "RewriteCache",
+    "ServingPipeline",
+    "ServingConfig",
+    "ServedRewrite",
+    "LMRewriter",
+    "LMRewriterConfig",
+    "build_lm_sequences",
+]

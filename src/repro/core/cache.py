@@ -1,0 +1,66 @@
+"""Offline rewrite cache (paper Section III-G, first deployment step).
+
+The paper precomputes rewrites for the top 8 million queries — covering
+more than 80% of traffic — and serves them from a key-value store in under
+5 ms.  This class reproduces that tier: populate it offline from any
+rewriter, then look up by normalized query text at serving time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.text import normalize
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RewriteCache:
+    """Normalized-query -> precomputed rewrites store."""
+
+    def __init__(self):
+        self._store: dict[str, list[str]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, query: str) -> bool:
+        return normalize(query) in self._store
+
+    def put(self, query: str, rewrites: list[str]) -> None:
+        self._store[normalize(query)] = list(rewrites)
+
+    def get(self, query: str) -> list[str] | None:
+        """Rewrites for ``query`` or None on a miss (stats are updated)."""
+        found = self._store.get(normalize(query))
+        if found is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return list(found)
+
+    def populate(self, rewriter, queries: list[str], k: int = 3, progress=None) -> int:
+        """Precompute rewrites for head ``queries`` using any rewriter with
+        a ``rewrite(query, k) -> list[RewriteResult]`` method.
+
+        Returns the number of queries that produced at least one rewrite.
+        """
+        filled = 0
+        for i, query in enumerate(queries):
+            results = rewriter.rewrite(query, k=k)
+            if results:
+                self.put(query, [r.text for r in results])
+                filled += 1
+            if progress is not None:
+                progress(i + 1, len(queries))
+        return filled

@@ -1,0 +1,112 @@
+"""Online serving pipeline (paper Section III-G).
+
+Two tiers, as deployed at JD:
+
+1. **Cache tier** — head queries hit the precomputed key-value store
+   (paper: <5 ms, >80% of traffic).
+2. **Model tier** — long-tail queries fall through to a fast direct
+   query-to-query model (the hybrid transformer-encoder/RNN-decoder, about
+   30 ms on a 32-core CPU in the paper).
+
+The pipeline measures wall-clock latency per request and keeps per-tier
+counters, so the cache-coverage / latency tradeoff of Section III-G can be
+reproduced quantitatively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.cache import RewriteCache
+
+
+@dataclass
+class ServingConfig:
+    """Serving knobs (paper: at most 3 rewrites per query)."""
+
+    max_rewrites: int = 3
+    #: soft latency budget in ms (the paper's backend budget is ~50 ms);
+    #: requests are not cut off, but breaches are counted.
+    latency_budget_ms: float = 50.0
+
+
+@dataclass
+class ServedRewrite:
+    """Outcome of one serving request."""
+
+    query: str
+    rewrites: list[str]
+    source: str  # "cache" | "model" | "none"
+    latency_ms: float
+
+
+@dataclass
+class ServingStats:
+    cache_served: int = 0
+    model_served: int = 0
+    unserved: int = 0
+    budget_breaches: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.cache_served + self.model_served + self.unserved
+
+    def mean_latency_ms(self) -> float:
+        return sum(self.latencies_ms) / len(self.latencies_ms) if self.latencies_ms else 0.0
+
+    def p99_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+class ServingPipeline:
+    """Cache-first, model-fallback rewrite serving."""
+
+    def __init__(
+        self,
+        cache: RewriteCache | None,
+        fallback_rewriter,
+        config: ServingConfig | None = None,
+    ):
+        """``fallback_rewriter`` is any object with
+        ``rewrite(query, k) -> list[RewriteResult]`` (typically a
+        :class:`~repro.core.rewriter.DirectRewriter` over a hybrid model);
+        pass None to serve cache-only."""
+        self.cache = cache
+        self.fallback = fallback_rewriter
+        self.config = config or ServingConfig()
+        self.stats = ServingStats()
+
+    def serve(self, query: str) -> ServedRewrite:
+        """Serve one request, recording tier and latency."""
+        started = time.perf_counter()
+        rewrites: list[str] = []
+        source = "none"
+
+        if self.cache is not None:
+            cached = self.cache.get(query)
+            if cached is not None:
+                rewrites = cached[: self.config.max_rewrites]
+                source = "cache"
+
+        if not rewrites and self.fallback is not None:
+            results = self.fallback.rewrite(query, k=self.config.max_rewrites)
+            rewrites = [r.text for r in results]
+            if rewrites:
+                source = "model"
+
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self.stats.latencies_ms.append(latency_ms)
+        if latency_ms > self.config.latency_budget_ms:
+            self.stats.budget_breaches += 1
+        if source == "cache":
+            self.stats.cache_served += 1
+        elif source == "model":
+            self.stats.model_served += 1
+        else:
+            self.stats.unserved += 1
+        return ServedRewrite(query=query, rewrites=rewrites, source=source, latency_ms=latency_ms)

@@ -1,0 +1,54 @@
+"""Synthetic e-commerce marketplace — the public substitute for JD's logs.
+
+The paper trains on 60 days of proprietary click logs (300M query-title
+pairs).  This package builds the closest public-data equivalent: a
+generative product catalog, a query-intent model that emits both *standard*
+and *colloquial/long-tail* query surface forms, and a click-log simulator
+whose (query, clicked-title) pairs exhibit exactly the vocabulary mismatch
+the paper's cyclic translation exploits.
+
+Typical use::
+
+    from repro.data import MarketplaceConfig, generate_marketplace
+
+    market = generate_marketplace(MarketplaceConfig(seed=0))
+    market.click_log.pairs          # (query, title, clicks) training triples
+    market.corpus                   # tokenized/encoded parallel corpus
+"""
+
+from repro.data.domain import Intent, Product, ClickEvent, QueryStyle
+from repro.data.catalog import CatalogConfig, CatalogGenerator, CATEGORY_SPECS
+from repro.data.queries import QueryGenerator, QueryRealization
+from repro.data.clicklog import ClickLogConfig, ClickLogSimulator, ClickLog
+from repro.data.dataset import (
+    ParallelCorpus,
+    BatchIterator,
+    pad_batch,
+    train_eval_split,
+)
+from repro.data.marketplace import Marketplace, MarketplaceConfig, generate_marketplace
+from repro.data.synonyms import extract_synonym_pairs, build_rule_dictionary
+
+__all__ = [
+    "Intent",
+    "Product",
+    "ClickEvent",
+    "QueryStyle",
+    "CatalogConfig",
+    "CatalogGenerator",
+    "CATEGORY_SPECS",
+    "QueryGenerator",
+    "QueryRealization",
+    "ClickLogConfig",
+    "ClickLogSimulator",
+    "ClickLog",
+    "ParallelCorpus",
+    "BatchIterator",
+    "pad_batch",
+    "train_eval_split",
+    "Marketplace",
+    "MarketplaceConfig",
+    "generate_marketplace",
+    "extract_synonym_pairs",
+    "build_rule_dictionary",
+]

@@ -1,0 +1,323 @@
+"""Synthetic product catalog.
+
+The catalog is the ground truth of the marketplace: a set of category
+specifications (brands, attributes, canonical vocabulary, colloquial
+aliases, marketing filler) from which concrete products with verbose titles
+are sampled.  The specs deliberately encode the three failure modes the
+paper's introduction lists:
+
+1. short/verbose title mismatch — titles are much longer than queries;
+2. natural-language queries — audiences have colloquial aliases
+   ("grandpa" for "senior") that never appear in titles;
+3. polysemy — "apple" is a brand in electronics and a fruit in groceries,
+   "cherry" a keyboard brand and a fruit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.domain import Product
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """Static description of one product category."""
+
+    name: str
+    canonical: tuple[str, ...]  # canonical query tokens, e.g. ("mobile", "phone")
+    colloquial: tuple[str, ...]  # colloquial names used in queries only
+    brands: tuple[str, ...]
+    audiences: tuple[str, ...]  # canonical audience tokens appearing in titles
+    features: tuple[str, ...]  # optional feature tokens appearing in titles
+    marketing: tuple[str, ...]  # filler words appearing in titles only
+    spec_tokens: tuple[str, ...]  # trailing spec tokens (sizes, packs, ...)
+    price_range: tuple[float, float]
+
+
+# ---------------------------------------------------------------------------
+# Category specifications.  Tokens are chosen so that cross-category overlap
+# happens only where intended (polysemes, shared audiences).
+# ---------------------------------------------------------------------------
+CATEGORY_SPECS: dict[str, CategorySpec] = {
+    spec.name: spec
+    for spec in [
+        CategorySpec(
+            name="phone",
+            canonical=("mobile", "phone"),
+            colloquial=("cellphone", "handset"),
+            brands=("apple", "samsung", "huawei", "xiaomi", "nokia"),
+            audiences=("senior", "student"),
+            features=("big-button", "flip", "5g", "dual-sim", "unlocked"),
+            marketing=("full-netcom", "standby", "official", "genuine"),
+            spec_tokens=("64g", "128g", "256g", "black", "gold", "blue"),
+            price_range=(40.0, 1200.0),
+        ),
+        CategorySpec(
+            name="shoe",
+            canonical=("shoe",),
+            colloquial=("sneaker", "footwear", "kicks"),
+            brands=("adidas", "nike", "lining", "puma", "anta"),
+            audiences=("men", "women", "children"),
+            features=("running", "casual", "breathable", "low-cut", "non-slip"),
+            marketing=("spring", "new", "classic", "lightweight"),
+            spec_tokens=("size-40", "size-42", "white", "black", "red"),
+            price_range=(25.0, 220.0),
+        ),
+        CategorySpec(
+            name="milk-powder",
+            canonical=("milk", "powder"),
+            colloquial=("formula", "milkpowder"),
+            brands=("yili", "mengniu", "anchor", "wyeth", "friso"),
+            audiences=("infant", "adult", "senior"),
+            features=("stage-1", "stage-2", "stage-3", "skimmed", "whole", "high-calcium"),
+            marketing=("imported", "golden", "crown", "fresh-sealed"),
+            spec_tokens=("900g", "1kg", "cans", "bag"),
+            price_range=(12.0, 90.0),
+        ),
+        CategorySpec(
+            name="coin",
+            canonical=("commemorative", "coin"),
+            colloquial=("collector-coin", "souvenir-coin"),
+            brands=("china-gold", "mint", "royal"),
+            audiences=(),
+            features=("year-rat", "year-ox", "year-pig", "year-tiger", "zodiac"),
+            marketing=("circulation", "second-round", "face-value", "limited"),
+            spec_tokens=("10-yuan", "silver", "gold-plated"),
+            price_range=(8.0, 300.0),
+        ),
+        CategorySpec(
+            name="perfume",
+            canonical=("perfume",),
+            colloquial=("scent", "fragrance", "cologne"),
+            brands=("nivea", "chanel", "dior", "gucci"),
+            audiences=("men", "women"),
+            features=("eau-de-toilette", "long-lasting", "fresh", "floral"),
+            marketing=("authentic", "gift-box", "classic"),
+            spec_tokens=("50ml", "100ml"),
+            price_range=(20.0, 350.0),
+        ),
+        CategorySpec(
+            name="skincare",
+            canonical=("skin", "care"),
+            colloquial=("cream", "lotion", "cosmetics"),
+            brands=("loreal", "nivea", "olay", "shiseido"),
+            audiences=("men", "women"),
+            features=("anti-wrinkle", "firming", "moisturizing", "whitening", "fine-lines"),
+            marketing=("authentic", "five-piece", "set", "facial"),
+            spec_tokens=("30ml", "set-of-5"),
+            price_range=(15.0, 260.0),
+        ),
+        CategorySpec(
+            name="laptop",
+            canonical=("laptop",),
+            colloquial=("computer", "notebook-pc"),
+            brands=("lenovo", "dell", "apple", "asus"),
+            audiences=("student", "men", "women"),
+            features=("gaming", "office", "thin", "ssd", "15-inch"),
+            marketing=("new", "flagship", "official"),
+            spec_tokens=("8gb", "16gb", "512gb"),
+            price_range=(300.0, 2500.0),
+        ),
+        CategorySpec(
+            name="keyboard",
+            canonical=("keyboard",),
+            colloquial=("keypad",),
+            brands=("cherry", "logitech", "razer", "keychron"),
+            audiences=("student",),
+            features=("mechanical", "wireless", "backlit", "87-key"),
+            marketing=("gaming", "office", "genuine"),
+            spec_tokens=("black", "white"),
+            price_range=(15.0, 180.0),
+        ),
+        CategorySpec(
+            name="fruit",
+            canonical=("fresh", "fruit"),
+            colloquial=("produce",),
+            brands=("apple", "cherry", "banana", "orange", "grape"),
+            audiences=(),
+            features=("imported", "organic", "seasonal", "sweet"),
+            marketing=("farm-direct", "juicy", "premium"),
+            spec_tokens=("1kg", "2kg", "box"),
+            price_range=(3.0, 45.0),
+        ),
+        CategorySpec(
+            name="watch",
+            canonical=("watch",),
+            colloquial=("wristwatch", "timepiece"),
+            brands=("casio", "apple", "seiko", "citizen"),
+            audiences=("men", "women", "senior"),
+            features=("smart", "waterproof", "quartz", "leather-strap"),
+            marketing=("classic", "official", "luxury"),
+            spec_tokens=("black", "silver", "gold"),
+            price_range=(25.0, 900.0),
+        ),
+    ]
+}
+
+# In the "fruit" category the brand slot holds the fruit variety itself, so
+# "apple" and "cherry" occur both as electronics brands and as fruits: the
+# polysemes the paper's Section IV-C2 discusses.
+POLYSEMOUS_TERMS: dict[str, tuple[str, ...]] = {
+    "apple": ("phone", "laptop", "watch", "fruit"),
+    "cherry": ("keyboard", "fruit"),
+}
+
+# Colloquial audience aliases — query-side only; titles always use the
+# canonical audience token.  This is the "cellphone for grandpa" mismatch.
+AUDIENCE_ALIASES: dict[str, tuple[str, ...]] = {
+    "senior": ("grandpa", "grandma", "elderly", "old-people"),
+    "men": ("dad", "husband", "boyfriend", "him"),
+    "women": ("mom", "wife", "girlfriend", "her"),
+    "children": ("kid", "son", "daughter", "baby"),
+    "student": ("college", "school"),
+    "infant": ("newborn", "baby"),
+    "adult": ("grown-up",),
+}
+
+# Brand aliases (shorthands users type; titles use the real brand token).
+BRAND_ALIASES: dict[str, tuple[str, ...]] = {
+    "adidas": ("ah-di",),
+    "nike": ("nai-ke",),
+    "apple": ("iphone-brand",),
+    "loreal": ("l-oreal",),
+    "lenovo": ("thinkpad",),
+}
+
+# Vague descriptors appearing in colloquial queries but (almost) never in
+# titles: the model must learn to drop them.
+VAGUE_WORDS: tuple[str, ...] = (
+    "comfortable",
+    "cheap",
+    "good",
+    "nice",
+    "best",
+    "durable",
+    "pretty",
+    "quality",
+)
+
+# Natural-language filler used by NATURAL style queries.
+FILLER_WORDS: tuple[str, ...] = ("for", "my", "a", "the", "with", "gift", "want", "buy")
+
+
+@dataclass
+class CatalogConfig:
+    """Knobs controlling catalog generation."""
+
+    products_per_category: int = 30
+    title_marketing_words: tuple[int, int] = (1, 3)  # min/max filler tokens
+    title_feature_words: tuple[int, int] = (1, 3)
+    seed: int = 0
+
+
+@dataclass
+class Catalog:
+    """The generated product set plus lookup indices."""
+
+    products: list[Product]
+    by_category: dict[str, list[Product]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.by_category:
+            for product in self.products:
+                self.by_category.setdefault(product.category, []).append(product)
+
+    def __len__(self) -> int:
+        return len(self.products)
+
+    def get(self, product_id: int) -> Product:
+        return self.products[product_id]
+
+    def categories(self) -> list[str]:
+        return sorted(self.by_category)
+
+
+class CatalogGenerator:
+    """Samples concrete products (with verbose titles) from the specs."""
+
+    def __init__(self, config: CatalogConfig | None = None):
+        self.config = config or CatalogConfig()
+
+    def generate(self, rng: np.random.Generator | None = None) -> Catalog:
+        rng = rng or np.random.default_rng(self.config.seed)
+        products: list[Product] = []
+        for name in sorted(CATEGORY_SPECS):
+            spec = CATEGORY_SPECS[name]
+            for _ in range(self.config.products_per_category):
+                products.append(self._sample_product(spec, len(products), rng))
+        return Catalog(products=products)
+
+    def _sample_product(
+        self, spec: CategorySpec, product_id: int, rng: np.random.Generator
+    ) -> Product:
+        brand = str(rng.choice(spec.brands))
+        audience = str(rng.choice(spec.audiences)) if spec.audiences and rng.random() < 0.75 else None
+        n_features = int(rng.integers(self.config.title_feature_words[0],
+                                      self.config.title_feature_words[1] + 1))
+        n_features = min(n_features, len(spec.features))
+        features = tuple(
+            sorted(rng.choice(spec.features, size=n_features, replace=False).tolist())
+        )
+        title = self._build_title(spec, brand, audience, features, rng)
+        low, high = spec.price_range
+        price = float(np.round(rng.uniform(low, high), 2))
+        return Product(
+            product_id=product_id,
+            category=spec.name,
+            brand=brand,
+            audience=audience,
+            features=features,
+            title_tokens=tuple(title),
+            price=price,
+        )
+
+    def _build_title(
+        self,
+        spec: CategorySpec,
+        brand: str,
+        audience: str | None,
+        features: tuple[str, ...],
+        rng: np.random.Generator,
+    ) -> list[str]:
+        """Verbose title: brand + marketing + features + canonical + audience + specs.
+
+        Mirrors real e-commerce titles, which front-load the brand, stuff
+        marketing words, and repeat key attributes.
+        """
+        lo, hi = self.config.title_marketing_words
+        n_marketing = int(rng.integers(lo, hi + 1))
+        n_marketing = min(n_marketing, len(spec.marketing))
+        marketing = rng.choice(spec.marketing, size=n_marketing, replace=False).tolist()
+        n_specs = int(rng.integers(1, min(3, len(spec.spec_tokens)) + 1))
+        spec_words = rng.choice(spec.spec_tokens, size=n_specs, replace=False).tolist()
+
+        title = [brand]
+        title.extend(marketing)
+        title.extend(features)
+        title.extend(spec.canonical)
+        if audience is not None:
+            title.append(audience)
+            # Real titles often repeat the audience+category pair.
+            if rng.random() < 0.4:
+                title.extend(spec.canonical)
+        title.extend(spec_words)
+        return title
+
+
+def alias_to_canonical() -> dict[str, str]:
+    """Flatten alias tables into one alias -> canonical-token map."""
+    mapping: dict[str, str] = {}
+    for canonical, aliases in AUDIENCE_ALIASES.items():
+        for alias in aliases:
+            mapping[alias] = canonical
+    for brand, aliases in BRAND_ALIASES.items():
+        for alias in aliases:
+            mapping[alias] = brand
+    for name, spec in CATEGORY_SPECS.items():
+        canonical_phrase = " ".join(spec.canonical)
+        for alias in spec.colloquial:
+            mapping[alias] = canonical_phrase
+    return mapping

@@ -1,0 +1,148 @@
+"""Parallel corpus containers and batching for seq2seq training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.text import Vocabulary
+
+
+@dataclass
+class ParallelCorpus:
+    """Token-id parallel data for one translation direction.
+
+    ``sources`` are encoded WITHOUT SOS (encoder input, EOS-terminated);
+    ``targets`` WITH both SOS and EOS (decoder teacher forcing).
+    """
+
+    sources: list[list[int]]
+    targets: list[list[int]]
+    vocab: Vocabulary
+    weights: list[int] | None = None  # e.g. click counts
+
+    def __post_init__(self):
+        if len(self.sources) != len(self.targets):
+            raise ValueError(
+                f"source/target length mismatch: {len(self.sources)} vs {len(self.targets)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: list[tuple[tuple[str, ...], tuple[str, ...], int]],
+        vocab: Vocabulary,
+        swap: bool = False,
+    ) -> "ParallelCorpus":
+        """Build from (src_tokens, tgt_tokens, weight) triples.
+
+        ``swap=True`` flips direction — used to derive the title-to-query
+        corpus from the same click pairs.
+        """
+        sources, targets, weights = [], [], []
+        for src, tgt, weight in pairs:
+            if swap:
+                src, tgt = tgt, src
+            sources.append(vocab.encode(list(src), add_sos=False, add_eos=True))
+            targets.append(vocab.encode(list(tgt), add_sos=True, add_eos=True))
+            weights.append(weight)
+        return cls(sources=sources, targets=targets, vocab=vocab, weights=weights)
+
+
+def pad_batch(sequences: list[list[int]], pad_id: int, max_len: int | None = None) -> np.ndarray:
+    """Right-pad variable-length id lists into an int array."""
+    if not sequences:
+        raise ValueError("pad_batch received no sequences")
+    width = max(len(s) for s in sequences)
+    if max_len is not None:
+        width = min(width, max_len)
+    out = np.full((len(sequences), width), pad_id, dtype=np.int64)
+    for i, seq in enumerate(sequences):
+        trimmed = seq[:width]
+        out[i, : len(trimmed)] = trimmed
+    return out
+
+
+@dataclass
+class Batch:
+    """One padded training batch."""
+
+    source: np.ndarray  # (batch, src_len)
+    target_in: np.ndarray  # (batch, tgt_len) — decoder input (SOS..)
+    target_out: np.ndarray  # (batch, tgt_len) — shifted labels (..EOS)
+
+
+class BatchIterator:
+    """Shuffled mini-batch iterator over a :class:`ParallelCorpus`.
+
+    Decoder targets are split into teacher-forcing inputs (dropping the
+    final token) and labels (dropping SOS).
+    """
+
+    def __init__(
+        self,
+        corpus: ParallelCorpus,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = True,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.corpus = corpus
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self.shuffle = shuffle
+
+    def __len__(self) -> int:
+        return (len(self.corpus) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        order = np.arange(len(self.corpus))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        pad = self.corpus.vocab.pad_id
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            sources = [self.corpus.sources[i] for i in idx]
+            targets = [self.corpus.targets[i] for i in idx]
+            source = pad_batch(sources, pad)
+            target_full = pad_batch(targets, pad)
+            yield Batch(
+                source=source,
+                target_in=target_full[:, :-1],
+                target_out=target_full[:, 1:],
+            )
+
+    def sample_batch(self) -> Batch:
+        """One random batch (used by the cyclic trainer's Algorithm 1 loop)."""
+        idx = self.rng.choice(len(self.corpus), size=min(self.batch_size, len(self.corpus)), replace=False)
+        pad = self.corpus.vocab.pad_id
+        source = pad_batch([self.corpus.sources[i] for i in idx], pad)
+        target_full = pad_batch([self.corpus.targets[i] for i in idx], pad)
+        return Batch(
+            source=source,
+            target_in=target_full[:, :-1],
+            target_out=target_full[:, 1:],
+        )
+
+
+def train_eval_split(
+    pairs: list,
+    eval_fraction: float = 0.1,
+    rng: np.random.Generator | None = None,
+) -> tuple[list, list]:
+    """Deterministic random split of pair lists."""
+    if not 0.0 <= eval_fraction < 1.0:
+        raise ValueError("eval_fraction must be in [0, 1)")
+    rng = rng or np.random.default_rng(0)
+    order = np.arange(len(pairs))
+    rng.shuffle(order)
+    n_eval = int(len(pairs) * eval_fraction)
+    eval_idx = set(order[:n_eval].tolist())
+    train = [p for i, p in enumerate(pairs) if i not in eval_idx]
+    evaluation = [p for i, p in enumerate(pairs) if i in eval_idx]
+    return train, evaluation

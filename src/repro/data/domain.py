@@ -1,0 +1,97 @@
+"""Core domain objects of the synthetic marketplace."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class QueryStyle(enum.Enum):
+    """Surface style of a generated query.
+
+    STANDARD queries use the catalog's canonical vocabulary ("senior
+    phone"); COLLOQUIAL queries use aliases and vague words ("cellphone for
+    grandpa"); NATURAL queries add natural-language filler; POLYSEMOUS
+    queries contain an ambiguous term whose meaning depends on context
+    ("apple" the brand vs. the fruit).  The last three are the hard cases
+    the paper's introduction motivates.
+    """
+
+    STANDARD = "standard"
+    COLLOQUIAL = "colloquial"
+    NATURAL = "natural"
+    POLYSEMOUS = "polysemous"
+
+
+@dataclass(frozen=True)
+class Intent:
+    """Ground-truth shopping intent behind a query.
+
+    The simulated human labeler (Table VI) and the A/B user model
+    (Table VIII) judge relevance against this, never against surface text.
+    """
+
+    category: str
+    brand: str | None = None
+    audience: str | None = None
+    features: tuple[str, ...] = ()
+
+    def matches(self, product: "Product") -> float:
+        """Graded relevance of ``product`` to this intent in [0, 1].
+
+        Category mismatch is fatal; brand/audience/feature mismatches each
+        scale relevance down, mirroring how a shopper discounts items.
+        """
+        if product.category != self.category:
+            return 0.0
+        score = 1.0
+        if self.brand is not None:
+            score *= 1.0 if product.brand == self.brand else 0.15
+        if self.audience is not None:
+            score *= 1.0 if product.audience == self.audience else 0.25
+        for feature in self.features:
+            score *= 1.0 if feature in product.features else 0.4
+        return score
+
+
+@dataclass(frozen=True)
+class Product:
+    """A catalog item."""
+
+    product_id: int
+    category: str
+    brand: str
+    audience: str | None
+    features: tuple[str, ...]
+    title_tokens: tuple[str, ...]
+    price: float
+
+    @property
+    def title(self) -> str:
+        return " ".join(self.title_tokens)
+
+
+@dataclass(frozen=True)
+class ClickEvent:
+    """One (query, clicked product) interaction within a session."""
+
+    session_id: int
+    query_tokens: tuple[str, ...]
+    style: QueryStyle
+    intent: Intent
+    product_id: int
+
+
+@dataclass
+class QueryRecord:
+    """Aggregated view of one distinct query string across the log."""
+
+    tokens: tuple[str, ...]
+    style: QueryStyle
+    intent: Intent
+    total_clicks: int = 0
+    clicked_products: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.tokens)

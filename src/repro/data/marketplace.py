@@ -1,0 +1,127 @@
+"""One-call construction of the full synthetic marketplace.
+
+Bundles catalog generation, click-log simulation, vocabulary building and
+corpus encoding, so experiments and examples share one entry point::
+
+    market = generate_marketplace(MarketplaceConfig(seed=0))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.catalog import (
+    AUDIENCE_ALIASES,
+    BRAND_ALIASES,
+    CATEGORY_SPECS,
+    Catalog,
+    CatalogConfig,
+    CatalogGenerator,
+    FILLER_WORDS,
+    VAGUE_WORDS,
+)
+from repro.data.clicklog import ClickLog, ClickLogConfig, ClickLogSimulator
+from repro.data.dataset import ParallelCorpus, train_eval_split
+from repro.data.queries import QueryGenerator
+from repro.data.synonyms import extract_synonym_pairs
+from repro.text import Vocabulary
+
+
+@dataclass
+class MarketplaceConfig:
+    """Aggregate configuration for the synthetic marketplace."""
+
+    catalog: CatalogConfig = field(default_factory=CatalogConfig)
+    clicks: ClickLogConfig = field(default_factory=ClickLogConfig)
+    eval_fraction: float = 0.1
+    vocab_min_freq: int = 1
+    seed: int = 0
+
+    def __post_init__(self):
+        # A single seed drives everything unless sub-configs override it.
+        self.catalog.seed = self.seed
+        self.clicks.seed = self.seed + 1
+
+
+@dataclass
+class Marketplace:
+    """Everything downstream components need, generated deterministically."""
+
+    config: MarketplaceConfig
+    catalog: Catalog
+    click_log: ClickLog
+    vocab: Vocabulary
+    #: query->title pairs (training split)
+    train_pairs: list[tuple[tuple[str, ...], tuple[str, ...], int]]
+    #: query->title pairs (held-out split)
+    eval_pairs: list[tuple[tuple[str, ...], tuple[str, ...], int]]
+    #: shared-click synonymous query pairs (for the q2q serving model)
+    synonym_pairs: list[tuple[tuple[str, ...], tuple[str, ...], int]]
+
+    @property
+    def forward_corpus(self) -> ParallelCorpus:
+        """Query -> title corpus (training split)."""
+        return ParallelCorpus.from_pairs(self.train_pairs, self.vocab, swap=False)
+
+    @property
+    def backward_corpus(self) -> ParallelCorpus:
+        """Title -> query corpus (training split)."""
+        return ParallelCorpus.from_pairs(self.train_pairs, self.vocab, swap=True)
+
+    @property
+    def q2q_corpus(self) -> ParallelCorpus:
+        """Query -> synonymous-query corpus (Section III-G serving model)."""
+        return ParallelCorpus.from_pairs(self.synonym_pairs, self.vocab, swap=False)
+
+
+def _domain_vocabulary() -> list[str]:
+    """Every token the catalog and query generators can emit."""
+    tokens: list[str] = list(VAGUE_WORDS) + list(FILLER_WORDS)
+    for aliases in AUDIENCE_ALIASES.values():
+        tokens.extend(aliases)
+    for brand, aliases in BRAND_ALIASES.items():
+        tokens.append(brand)
+        tokens.extend(aliases)
+    for spec in CATEGORY_SPECS.values():
+        tokens.extend(spec.canonical)
+        tokens.extend(spec.colloquial)
+        tokens.extend(spec.brands)
+        tokens.extend(spec.audiences)
+        tokens.extend(spec.features)
+        tokens.extend(spec.marketing)
+        tokens.extend(spec.spec_tokens)
+    return tokens
+
+
+def generate_marketplace(config: MarketplaceConfig | None = None) -> Marketplace:
+    """Generate catalog, simulate clicks, build vocab and splits."""
+    config = config or MarketplaceConfig()
+    rng = np.random.default_rng(config.seed)
+
+    catalog = CatalogGenerator(config.catalog).generate(rng)
+    simulator = ClickLogSimulator(catalog, QueryGenerator(), config.clicks)
+    click_log = simulator.simulate(np.random.default_rng(config.clicks.seed))
+
+    corpus_tokens = [list(q) for q, _, _ in click_log.pairs]
+    corpus_tokens += [list(t) for _, t, _ in click_log.pairs]
+    # Include the full domain vocabulary (aliases, vague words, every spec
+    # token) so no legal query is out-of-vocabulary — production vocabularies
+    # are built over complete logs, not over one sampled slice.
+    corpus_tokens.append(_domain_vocabulary())
+    vocab = Vocabulary.build(corpus_tokens, min_freq=config.vocab_min_freq)
+
+    train_pairs, eval_pairs = train_eval_split(
+        click_log.pairs, config.eval_fraction, np.random.default_rng(config.seed + 2)
+    )
+    synonym_pairs = extract_synonym_pairs(click_log)
+    return Marketplace(
+        config=config,
+        catalog=catalog,
+        click_log=click_log,
+        vocab=vocab,
+        train_pairs=train_pairs,
+        eval_pairs=eval_pairs,
+        synonym_pairs=synonym_pairs,
+    )

@@ -1,0 +1,175 @@
+"""Query generation: one intent, several surface forms.
+
+Standard queries speak the catalog's canonical language and are easy for an
+inverted index.  Colloquial / natural / polysemous queries are the hard
+cases: they use audience aliases, brand shorthands, vague adjectives and
+filler words that never occur in item titles, so term matching fails on
+them — exactly the semantic-matching gap the paper's model closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.catalog import (
+    AUDIENCE_ALIASES,
+    BRAND_ALIASES,
+    CATEGORY_SPECS,
+    FILLER_WORDS,
+    POLYSEMOUS_TERMS,
+    VAGUE_WORDS,
+)
+from repro.data.domain import Intent, QueryStyle
+
+
+@dataclass(frozen=True)
+class QueryRealization:
+    """A concrete query surface form plus its ground truth."""
+
+    tokens: tuple[str, ...]
+    style: QueryStyle
+    intent: Intent
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+
+class QueryGenerator:
+    """Turns intents into query strings of the four styles."""
+
+    def __init__(self, style_weights: dict[QueryStyle, float] | None = None):
+        self.style_weights = style_weights or {
+            QueryStyle.STANDARD: 0.45,
+            QueryStyle.COLLOQUIAL: 0.30,
+            QueryStyle.NATURAL: 0.20,
+            QueryStyle.POLYSEMOUS: 0.05,
+        }
+
+    # -- intent sampling --------------------------------------------------
+    def sample_intent(self, rng: np.random.Generator) -> Intent:
+        category = str(rng.choice(sorted(CATEGORY_SPECS)))
+        spec = CATEGORY_SPECS[category]
+        brand = str(rng.choice(spec.brands)) if rng.random() < 0.5 else None
+        audience = (
+            str(rng.choice(spec.audiences))
+            if spec.audiences and rng.random() < 0.5
+            else None
+        )
+        features: tuple[str, ...] = ()
+        if spec.features and rng.random() < 0.4:
+            features = (str(rng.choice(spec.features)),)
+        return Intent(category=category, brand=brand, audience=audience, features=features)
+
+    def sample_style(self, rng: np.random.Generator) -> QueryStyle:
+        styles = list(self.style_weights)
+        weights = np.array([self.style_weights[s] for s in styles], dtype=float)
+        weights /= weights.sum()
+        return styles[int(rng.choice(len(styles), p=weights))]
+
+    # -- realization --------------------------------------------------------
+    def realize(
+        self, intent: Intent, style: QueryStyle, rng: np.random.Generator
+    ) -> QueryRealization:
+        """Render ``intent`` in the given surface style."""
+        if style is QueryStyle.STANDARD:
+            tokens = self._standard(intent, rng)
+        elif style is QueryStyle.COLLOQUIAL:
+            tokens = self._colloquial(intent, rng)
+        elif style is QueryStyle.NATURAL:
+            tokens = self._natural(intent, rng)
+        elif style is QueryStyle.POLYSEMOUS:
+            tokens = self._polysemous(intent, rng)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown style {style}")
+        return QueryRealization(tokens=tuple(tokens), style=style, intent=intent)
+
+    def sample(self, rng: np.random.Generator) -> QueryRealization:
+        """Sample an intent and render it in a sampled style."""
+        intent = self.sample_intent(rng)
+        style = self.sample_style(rng)
+        if style is QueryStyle.POLYSEMOUS:
+            intent = self._polysemous_intent(rng)
+        return self.realize(intent, style, rng)
+
+    # -- style renderers ---------------------------------------------------
+    def _standard(self, intent: Intent, rng: np.random.Generator) -> list[str]:
+        """Canonical phrasing: [brand] [audience] [feature] canonical-category."""
+        spec = CATEGORY_SPECS[intent.category]
+        tokens: list[str] = []
+        if intent.brand is not None:
+            tokens.append(intent.brand)
+        if intent.audience is not None:
+            tokens.append(intent.audience)
+        tokens.extend(intent.features)
+        tokens.extend(spec.canonical)
+        return tokens
+
+    def _colloquial(self, intent: Intent, rng: np.random.Generator) -> list[str]:
+        """Alias-ridden phrasing: vague word + brand alias + colloquial category."""
+        spec = CATEGORY_SPECS[intent.category]
+        tokens: list[str] = []
+        if rng.random() < 0.6:
+            tokens.append(str(rng.choice(VAGUE_WORDS)))
+        if intent.brand is not None:
+            tokens.append(self._brand_surface(intent.brand, rng, alias_prob=0.6))
+        tokens.extend(intent.features)
+        tokens.extend(self._category_surface(spec, rng, colloquial_prob=0.8))
+        if intent.audience is not None:
+            tokens.extend(["for", self._audience_surface(intent.audience, rng, alias_prob=0.9)])
+        return tokens
+
+    def _natural(self, intent: Intent, rng: np.random.Generator) -> list[str]:
+        """Natural-language phrasing: 'a cellphone for my grandpa with big-button'."""
+        spec = CATEGORY_SPECS[intent.category]
+        tokens: list[str] = [str(rng.choice(("a", "the", "want", "buy")))]
+        if intent.brand is not None and rng.random() < 0.5:
+            tokens.append(self._brand_surface(intent.brand, rng, alias_prob=0.5))
+        tokens.extend(self._category_surface(spec, rng, colloquial_prob=0.7))
+        if intent.audience is not None:
+            tokens.extend(["for", "my", self._audience_surface(intent.audience, rng, alias_prob=0.9)])
+        elif rng.random() < 0.3:
+            tokens.extend(["gift", "for", str(rng.choice(("her", "him")))])
+        for feature in intent.features:
+            tokens.extend(["with", feature])
+        return tokens
+
+    def _polysemous_intent(self, rng: np.random.Generator) -> Intent:
+        """An intent whose head term is ambiguous across categories."""
+        term = str(rng.choice(sorted(POLYSEMOUS_TERMS)))
+        category = str(rng.choice(POLYSEMOUS_TERMS[term]))
+        return Intent(category=category, brand=term)
+
+    def _polysemous(self, intent: Intent, rng: np.random.Generator) -> list[str]:
+        """Short ambiguous query: the bare term, or term + weak context."""
+        assert intent.brand is not None, "polysemous intents carry the term as brand"
+        tokens = [intent.brand]
+        spec = CATEGORY_SPECS[intent.category]
+        if rng.random() < 0.7:
+            # Weak disambiguating context (category colloquialism).
+            tokens.extend(self._category_surface(spec, rng, colloquial_prob=0.5))
+        return tokens
+
+    # -- surface-form helpers ------------------------------------------------
+    def _brand_surface(self, brand: str, rng: np.random.Generator, alias_prob: float) -> str:
+        aliases = BRAND_ALIASES.get(brand)
+        if aliases and rng.random() < alias_prob:
+            return str(rng.choice(aliases))
+        return brand
+
+    def _audience_surface(
+        self, audience: str, rng: np.random.Generator, alias_prob: float
+    ) -> str:
+        aliases = AUDIENCE_ALIASES.get(audience)
+        if aliases and rng.random() < alias_prob:
+            return str(rng.choice(aliases))
+        return audience
+
+    def _category_surface(
+        self, spec, rng: np.random.Generator, colloquial_prob: float
+    ) -> list[str]:
+        if spec.colloquial and rng.random() < colloquial_prob:
+            return [str(rng.choice(spec.colloquial))]
+        return list(spec.canonical)

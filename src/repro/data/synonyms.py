@@ -1,0 +1,116 @@
+"""Synonym-pair extraction and the rule dictionary.
+
+Two artifacts come from here:
+
+* **Synonymous query pairs** — queries sharing more than a threshold of
+  clicks on the same items (paper Section III-G).  These train the direct
+  query-to-query model used for low-latency online serving.
+* **The rule dictionary** — the human-curated synonym table behind the
+  paper's rule-based baseline.  We derive it from the catalog's alias
+  tables, including the deliberately *context-blind* polyseme entries
+  ("cherry" -> keyboard brand synonym) that the paper's Section IV-C2 calls
+  out as the failure mode of rule-based rewriting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.catalog import BRAND_ALIASES, CATEGORY_SPECS, AUDIENCE_ALIASES
+from repro.data.clicklog import ClickLog
+
+
+def extract_synonym_pairs(
+    click_log: ClickLog,
+    min_shared_clicks: int = 2,
+    max_pairs: int | None = None,
+) -> list[tuple[tuple[str, ...], tuple[str, ...], int]]:
+    """Query pairs that share at least ``min_shared_clicks`` clicked items.
+
+    Returns (query_a_tokens, query_b_tokens, shared_clicks) triples in both
+    directions (a->b and b->a), since the q2q model is direction-agnostic.
+    """
+    # Invert: product -> {query text: clicks}
+    product_queries: dict[int, dict[str, int]] = {}
+    for record in click_log.queries.values():
+        for product_id, clicks in record.clicked_products.items():
+            product_queries.setdefault(product_id, {})[record.text] = clicks
+
+    shared: dict[tuple[str, str], int] = {}
+    for clicks_by_query in product_queries.values():
+        texts = sorted(clicks_by_query)
+        for i, a in enumerate(texts):
+            for b in texts[i + 1 :]:
+                key = (a, b)
+                shared[key] = shared.get(key, 0) + min(clicks_by_query[a], clicks_by_query[b])
+
+    pairs: list[tuple[tuple[str, ...], tuple[str, ...], int]] = []
+    for (a, b), count in sorted(shared.items(), key=lambda kv: (-kv[1], kv[0])):
+        if count < min_shared_clicks:
+            continue
+        if a == b:
+            continue
+        tokens_a = click_log.queries[a].tokens
+        tokens_b = click_log.queries[b].tokens
+        pairs.append((tokens_a, tokens_b, count))
+        pairs.append((tokens_b, tokens_a, count))
+        if max_pairs is not None and len(pairs) >= max_pairs:
+            break
+    return pairs
+
+
+def build_rule_dictionary(include_polyseme_trap: bool = True) -> dict[str, str]:
+    """The human-curated phrase-synonym dictionary of the rule baseline.
+
+    Maps a query phrase to its replacement.  Entries mirror what a
+    lexicographer would compile from the alias tables: audience aliases to
+    canonical audiences, brand shorthands to brand names, category
+    colloquialisms to canonical category phrases.
+
+    ``include_polyseme_trap`` keeps the context-blind entries (e.g. mapping
+    the bare term "cherry" to the keyboard-brand reading) that make the
+    baseline fail on polysemous queries — the exact weakness Table VI's
+    human evaluation surfaces.
+    """
+    rules: dict[str, str] = {}
+    for canonical, aliases in AUDIENCE_ALIASES.items():
+        for alias in aliases:
+            rules[alias] = canonical
+    for brand, aliases in BRAND_ALIASES.items():
+        for alias in aliases:
+            rules[alias] = brand
+    for spec in CATEGORY_SPECS.values():
+        canonical_phrase = " ".join(spec.canonical)
+        for alias in spec.colloquial:
+            rules[alias] = canonical_phrase
+    if include_polyseme_trap:
+        # A lexicographer saw "cherry" mostly in keyboard listings and
+        # "apple" mostly in electronics, so the dictionary rewrites the bare
+        # terms toward those readings regardless of context.
+        rules["cherry"] = "cherry mechanical keyboard"
+        rules["apple"] = "apple official"
+    return rules
+
+
+def sample_queries_with_rules(
+    click_log: ClickLog,
+    rules: dict[str, str],
+    n: int,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Evaluation queries that have at least one rule-based synonym.
+
+    Mirrors the paper's human-eval setup: "randomly select 1,000 queries
+    ... which also have rule-based synonyms."
+    """
+    eligible = sorted(
+        text
+        for text, record in click_log.queries.items()
+        if any(token in rules for token in record.tokens)
+    )
+    if not eligible:
+        return []
+    if len(eligible) <= n:
+        return eligible
+    picked = rng.choice(len(eligible), size=n, replace=False)
+    return [eligible[i] for i in sorted(picked)]

@@ -1,0 +1,27 @@
+"""Sequence decoding algorithms.
+
+The paper finds greedy search (one output) and beam search (near-duplicate
+outputs) unsuitable for generating *diverse* synthetic titles, and proposes
+the **top-n sampling decoder** (Figure 4): the first step forces the k most
+likely *unique* tokens so all candidates begin differently, and subsequent
+steps sample from the per-step top-n token distribution.  Diverse beam
+search (Vijayakumar et al., 2016) — named as future work in Section V — is
+implemented as well.
+"""
+
+from repro.decoding.hypothesis import Hypothesis
+from repro.decoding.greedy import greedy_decode
+from repro.decoding.beam import beam_search
+from repro.decoding.topn import top_n_sampling
+from repro.decoding.diverse_beam import diverse_beam_search
+from repro.decoding.logspace import log_softmax_np, logsumexp_np
+
+__all__ = [
+    "Hypothesis",
+    "greedy_decode",
+    "beam_search",
+    "top_n_sampling",
+    "diverse_beam_search",
+    "log_softmax_np",
+    "logsumexp_np",
+]

@@ -1,0 +1,27 @@
+"""Decoded sequence container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """One decoded target sequence.
+
+    ``tokens`` excludes SOS and EOS; ``log_prob`` is the sum of chosen
+    token log probabilities (including the terminating EOS when the
+    sequence finished naturally).
+    """
+
+    tokens: tuple[int, ...]
+    log_prob: float
+    finished: bool = True
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def score(self) -> float:
+        """Length-normalized log probability (for ranking)."""
+        return self.log_prob / max(1, len(self.tokens) + 1)

@@ -1,0 +1,11 @@
+"""Embedding retrieval (DPSR-like dual encoder).
+
+The paper's Table VII "Cosine Similarity" column scores query pairs with
+embeddings from their production embedding-retrieval model (DPSR [1]).  We
+substitute a small two-tower encoder trained on the same synthetic click
+log with in-batch softmax — the standard recipe for such retrieval models.
+"""
+
+from repro.embedding.dual_encoder import DualEncoder, DualEncoderConfig, train_dual_encoder
+
+__all__ = ["DualEncoder", "DualEncoderConfig", "train_dual_encoder"]

@@ -1,0 +1,40 @@
+"""Evaluation machinery for every offline and online experiment.
+
+* :mod:`repro.evaluation.lexical` — n-gram F1 and edit distance plus the
+  Table VII aggregation over a rewriter.
+* :mod:`repro.evaluation.human` — the simulated human labeler behind the
+  Table VI win/tie/lose comparisons.
+* :mod:`repro.evaluation.abtest` — the online A/B simulator producing
+  UCVR / GMV / QRR deltas (Table VIII).
+"""
+
+from repro.evaluation.lexical import rewrite_similarity, method_similarity_metrics
+from repro.evaluation.human import SimulatedLabeler, LabelerConfig, pairwise_evaluation
+from repro.evaluation.abtest import (
+    ABTestConfig,
+    ABTestSimulator,
+    ABTestReport,
+    UserModel,
+    UserModelConfig,
+)
+from repro.evaluation.utility import (
+    rewrite_utility,
+    method_utility,
+    spearman_correlation,
+)
+
+__all__ = [
+    "rewrite_similarity",
+    "method_similarity_metrics",
+    "SimulatedLabeler",
+    "LabelerConfig",
+    "pairwise_evaluation",
+    "ABTestConfig",
+    "ABTestSimulator",
+    "ABTestReport",
+    "UserModel",
+    "UserModelConfig",
+    "rewrite_utility",
+    "method_utility",
+    "spearman_correlation",
+]

@@ -1,0 +1,70 @@
+"""Lexical and semantic similarity metrics (paper Table VII).
+
+The rewriting goal is *paradoxical by design*: rewrites should be lexically
+DIVERSE (low n-gram F1, high edit distance) yet semantically RELEVANT (high
+embedding cosine).  Rule-based replacement scores high on all three —
+too similar to add recall; the translation models trade a little cosine for
+much more diversity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text import levenshtein, ngram_f1, tokenize
+
+
+def rewrite_similarity(
+    original: str | list[str],
+    rewritten: str | list[str],
+    encoder=None,
+) -> dict[str, float]:
+    """F1 / edit-distance / (optional) cosine between one query pair."""
+    original_tokens = tokenize(original) if isinstance(original, str) else list(original)
+    rewritten_tokens = tokenize(rewritten) if isinstance(rewritten, str) else list(rewritten)
+    metrics = {
+        "f1": ngram_f1(rewritten_tokens, original_tokens),
+        "edit_distance": float(levenshtein(rewritten_tokens, original_tokens)),
+    }
+    if encoder is not None:
+        metrics["cosine"] = encoder.cosine(original_tokens, rewritten_tokens)
+    return metrics
+
+
+def method_similarity_metrics(
+    rewriter,
+    queries: list[str],
+    encoder=None,
+    k: int = 3,
+) -> dict[str, float]:
+    """One Table VII row: mean F1 / edit distance / cosine for a method.
+
+    ``rewriter`` is anything with ``rewrite(query, k) -> [RewriteResult]``.
+    Queries yielding no rewrites are skipped (matching the paper's setup,
+    where every evaluated query has at least a rule-based synonym).
+    """
+    f1s: list[float] = []
+    edits: list[float] = []
+    cosines: list[float] = []
+    covered = 0
+    for query in queries:
+        results = rewriter.rewrite(query, k=k)
+        if not results:
+            continue
+        covered += 1
+        for result in results:
+            metrics = rewrite_similarity(query, list(result.tokens), encoder=encoder)
+            f1s.append(metrics["f1"])
+            edits.append(metrics["edit_distance"])
+            if encoder is not None:
+                cosines.append(metrics["cosine"])
+    if not f1s:
+        raise ValueError("rewriter produced no rewrites on the evaluation set")
+    row = {
+        "f1": float(np.mean(f1s)),
+        "edit_distance": float(np.mean(edits)),
+        "coverage": covered / len(queries),
+    }
+    if cosines:
+        row["cosine"] = float(np.mean(cosines))
+    return row

@@ -1,0 +1,121 @@
+"""Offline rewrite-utility metric (paper Section V, third future-work item).
+
+The paper observes that "neither the lexical similarity (F1 score and edit
+distance) nor the semantic similarity (cosine similarity) aligns well with
+the query rewriting objective": the goal is rewrites that are *lexically
+diverse yet semantically relevant*, and each Table VII metric captures only
+one side.
+
+This module implements the composite the paper asks for.  For an original
+query ``q`` and a rewrite ``q'``:
+
+* **novelty** — the fraction of items retrieved by ``q'`` that the original
+  query misses.  A rewrite that retrieves nothing new (e.g. the rule-based
+  single-word swap, or the identity) is useless no matter how relevant.
+* **relatedness** — embedding cosine between ``q`` and ``q'`` clipped to
+  [0, 1], the semantic-safety proxy available without human labels.
+* **utility** = novelty × relatedness, with utility 0 when the rewrite
+  retrieves nothing at all.
+
+Both factors come from production artifacts (the inverted index and the
+embedding-retrieval model), so the metric is computable offline at scale —
+exactly the constraint the paper's future-work paragraph sets.  Tests and
+the correlation experiment check it agrees with the ground-truth labeler
+better than F1 or cosine alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.engine import SearchEngine
+from repro.text import tokenize
+
+
+def rewrite_utility(
+    original: str | list[str],
+    rewrite: str | list[str],
+    engine: SearchEngine,
+    encoder,
+) -> dict[str, float]:
+    """Score one rewrite; returns novelty, relatedness and their product."""
+    original_tokens = tokenize(original) if isinstance(original, str) else list(original)
+    rewrite_tokens = tokenize(rewrite) if isinstance(rewrite, str) else list(rewrite)
+    if not original_tokens or not rewrite_tokens:
+        return {"novelty": 0.0, "relatedness": 0.0, "utility": 0.0}
+
+    base_docs = set(engine.search(" ".join(original_tokens)).doc_ids)
+    rewrite_docs = set(engine.search(" ".join(rewrite_tokens)).doc_ids)
+    if not rewrite_docs:
+        return {"novelty": 0.0, "relatedness": 0.0, "utility": 0.0}
+
+    new_docs = rewrite_docs - base_docs
+    novelty = len(new_docs) / len(rewrite_docs)
+    relatedness = float(np.clip(encoder.cosine(original_tokens, rewrite_tokens), 0.0, 1.0))
+    return {
+        "novelty": novelty,
+        "relatedness": relatedness,
+        "utility": novelty * relatedness,
+    }
+
+
+def method_utility(
+    rewriter,
+    queries: list[str],
+    engine: SearchEngine,
+    encoder,
+    k: int = 3,
+) -> dict[str, float]:
+    """Mean utility of a rewriting method over an evaluation query set.
+
+    A query's score is its best rewrite's utility (retrieval unions the
+    candidates, so a set is as useful as its best member); queries with no
+    rewrites score 0, so coverage is priced in.
+    """
+    if not queries:
+        raise ValueError("method_utility needs a non-empty query set")
+    utilities: list[float] = []
+    novelty: list[float] = []
+    relatedness: list[float] = []
+    for query in queries:
+        results = rewriter.rewrite(query, k=k)
+        if not results:
+            utilities.append(0.0)
+            continue
+        scores = [
+            rewrite_utility(query, list(r.tokens), engine, encoder) for r in results
+        ]
+        best = max(scores, key=lambda s: s["utility"])
+        utilities.append(best["utility"])
+        novelty.append(best["novelty"])
+        relatedness.append(best["relatedness"])
+    return {
+        "utility": float(np.mean(utilities)),
+        "novelty": float(np.mean(novelty)) if novelty else 0.0,
+        "relatedness": float(np.mean(relatedness)) if relatedness else 0.0,
+    }
+
+
+def spearman_correlation(a: list[float], b: list[float]) -> float:
+    """Spearman rank correlation (no scipy dependency needed)."""
+    if len(a) != len(b) or len(a) < 2:
+        raise ValueError("need two equal-length series of at least 2 points")
+    def ranks(values: list[float]) -> np.ndarray:
+        order = np.argsort(values, kind="stable")
+        out = np.empty(len(values))
+        out[order] = np.arange(len(values), dtype=float)
+        # average ties
+        values_arr = np.asarray(values)
+        for v in np.unique(values_arr):
+            mask = values_arr == v
+            if mask.sum() > 1:
+                out[mask] = out[mask].mean()
+        return out
+
+    ra, rb = ranks(a), ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((ra * rb).sum() / denom)

@@ -1,0 +1,28 @@
+"""Experiment runners — one per table and figure of the paper.
+
+Every module exposes ``run(scale) -> ExperimentResult``; results carry the
+measured rows, the paper's reference values, and an ASCII rendering.  The
+``benchmarks/`` tree wraps these runners in pytest-benchmark targets, and
+EXPERIMENTS.md records paper-vs-measured for each.
+
+The :class:`~repro.experiments.scale.ExperimentScale` knob shrinks or grows
+everything (marketplace size, training steps, evaluation sizes) so the full
+suite stays runnable on a laptop CPU.
+"""
+
+from repro.experiments.scale import ExperimentScale, SMALL, DEFAULT
+from repro.experiments.shared import ExperimentContext, build_context
+from repro.experiments.rendering import ascii_table, render_series, render_heatmap
+from repro.experiments.result import ExperimentResult
+
+__all__ = [
+    "ExperimentScale",
+    "SMALL",
+    "DEFAULT",
+    "ExperimentContext",
+    "build_context",
+    "ascii_table",
+    "render_series",
+    "render_heatmap",
+    "ExperimentResult",
+]

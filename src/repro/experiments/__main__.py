@@ -1,0 +1,91 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table7
+    python -m repro.experiments fig7 --scale default
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import DEFAULT, SMALL
+from repro.experiments import (
+    ablations,
+    examples_tables,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    lm_exploration,
+    serving,
+    table1,
+    table2,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+RUNNERS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3_table4": examples_tables.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "table8": table8.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "serving": serving.run,
+    "ablation_lambda": ablations.lambda_sweep,
+    "ablation_diversity": ablations.decoder_diversity,
+    "ablation_warmup": ablations.warmup_sensitivity,
+    "ablation_offline_metric": ablations.offline_metric,
+    "lm_exploration": lm_exploration.run,
+}
+
+SCALES = {"small": SMALL, "default": DEFAULT}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables/figures of the ICDE'21 query-rewriting paper.",
+    )
+    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in RUNNERS:
+            print(name)
+        return 0
+
+    names = list(RUNNERS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(RUNNERS)}", file=sys.stderr)
+        return 2
+
+    scale = SCALES[args.scale]
+    for name in names:
+        started = time.time()
+        result = RUNNERS[name](scale)
+        print(result.render())
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Tables III & IV — example rewrites from the separate vs joint models.
+
+The paper's showcase: hard colloquial queries ("cellphone for grandpa")
+rewritten into standard catalog language ("senior phone"), with the jointly
+trained model staying closer to the original intent than the separately
+trained one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.rendering import ascii_table
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scale import ExperimentScale, SMALL
+from repro.experiments.shared import build_context
+
+#: the paper's Table III/IV query intents, transliterated to our marketplace
+SHOWCASE_QUERIES = [
+    "cellphone for grandpa",  # 给爷爷的手机
+    "milk powder for elderly",  # 老人奶粉
+    "commemorative coin",  # 猪年纪念币 (zodiac coin)
+    "wrinkle removal for him",  # 男士去皱
+    "comfortable ah-di sneaker",  # 阿迪 comfortable men's shoe (Fig 6)
+]
+
+
+def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
+    context = build_context(scale)
+    separate = context.rewriter("separate")
+    joint = context.rewriter("joint")
+
+    rows = []
+    measured: dict[str, dict[str, list[str]]] = {}
+    for query in SHOWCASE_QUERIES:
+        separate_rewrites = [r.text for r in separate.rewrite(query, k=2)]
+        joint_results = joint.rewrite(query, k=2)
+        joint_rewrites = [r.text for r in joint_results]
+        via = " ".join(joint_results[0].via_title) if joint_results else ""
+        measured[query] = {"separate": separate_rewrites, "joint": joint_rewrites}
+        rows.append(
+            [
+                query,
+                "; ".join(separate_rewrites) or "(none)",
+                "; ".join(joint_rewrites) or "(none)",
+                via[:40],
+            ]
+        )
+    rendered = ascii_table(
+        ["original query", "separate (Table III)", "joint (Table IV)", "joint via title"], rows
+    )
+    return ExperimentResult(
+        experiment_id="table3_table4",
+        title="Good cases from separately vs jointly trained models",
+        measured=measured,
+        paper={
+            "example": "给爷爷的手机 (cellphone for grandpa) -> separate: 'apple iphone8plus'; joint: 'senior phone'"
+        },
+        rendered=rendered,
+        notes="Qualitative: the joint model should keep the audience/category intent where the separate model drifts.",
+    )

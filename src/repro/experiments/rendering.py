@@ -1,0 +1,79 @@
+"""ASCII rendering helpers for tables, curves and attention heat maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_table(headers: list[str], rows: list[list], float_format: str = "{:.4f}") -> str:
+    """Monospace table with column alignment."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in text_rows)) if text_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in text_rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+_SPARK = " .:-=+*#%@"
+
+
+def render_series(
+    name: str, steps: list[int], values: list[float], width: int = 60
+) -> str:
+    """One training curve as a labelled sparkline plus endpoints."""
+    if not values:
+        return f"{name}: (no data)"
+    arr = np.asarray(values, dtype=float)
+    if len(arr) > width:
+        # Downsample by mean-pooling into `width` buckets.
+        edges = np.linspace(0, len(arr), width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        indices = np.zeros(len(arr), dtype=int)
+    else:
+        indices = ((arr - lo) / (hi - lo) * (len(_SPARK) - 1)).astype(int)
+    spark = "".join(_SPARK[i] for i in indices)
+    return f"{name:28s} |{spark}| first={values[0]:.4g} last={values[-1]:.4g}"
+
+
+def render_heatmap(
+    matrix: np.ndarray,
+    x_labels: list[str],
+    y_labels: list[str],
+    cell_width: int = 6,
+) -> str:
+    """Attention matrix as an ASCII heat map (rows attend over columns)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (len(y_labels), len(x_labels)):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match labels "
+            f"({len(y_labels)}, {len(x_labels)})"
+        )
+    lo, hi = float(matrix.min()), float(matrix.max())
+    span = max(hi - lo, 1e-12)
+    shades = " .:*#@"
+
+    label_width = max((len(l) for l in y_labels), default=4) + 1
+    header = " " * label_width + "".join(
+        label[: cell_width - 1].ljust(cell_width) for label in x_labels
+    )
+    lines = [header]
+    for label, row in zip(y_labels, matrix):
+        cells = []
+        for value in row:
+            shade = shades[int((value - lo) / span * (len(shades) - 1))]
+            cells.append((shade * 3).ljust(cell_width))
+        lines.append(label.ljust(label_width) + "".join(cells))
+    return "\n".join(lines)

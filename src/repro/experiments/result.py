@@ -1,0 +1,32 @@
+"""Experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one table/figure reproduction.
+
+    ``measured`` holds this run's numbers, ``paper`` the published
+    reference values (same keys where comparable), and ``rendered`` an
+    ASCII rendering suitable for terminal display and EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    measured: dict[str, Any]
+    paper: dict[str, Any] = field(default_factory=dict)
+    rendered: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        parts = [header]
+        if self.rendered:
+            parts.append(self.rendered)
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)

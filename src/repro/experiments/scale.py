@@ -1,0 +1,82 @@
+"""Experiment scale presets.
+
+The paper trains on 300M pairs with 512-d transformers on GPUs; this
+reproduction runs on NumPy/CPU, so every experiment takes an
+:class:`ExperimentScale` that sets marketplace size, model size and step
+budgets.  ``SMALL`` keeps the full benchmark suite in CI-friendly time;
+``DEFAULT`` gives cleaner curves when you have minutes instead of seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    name: str
+    # marketplace
+    products_per_category: int
+    num_sessions: int
+    # models
+    d_model: int
+    num_heads: int
+    d_ff: int
+    forward_layers: int
+    backward_layers: int
+    # training
+    warmup_steps: int
+    joint_steps: int
+    batch_size: int
+    beam_width: int
+    top_n: int
+    max_title_len: int
+    # evaluation
+    eval_queries: int
+    human_eval_queries: int
+    abtest_days: int
+    abtest_sessions_per_day: int
+    seed: int = 0
+
+
+SMALL = ExperimentScale(
+    name="small",
+    products_per_category=20,
+    num_sessions=6000,
+    d_model=32,
+    num_heads=4,
+    d_ff=64,
+    forward_layers=2,
+    backward_layers=1,
+    warmup_steps=170,
+    joint_steps=170,
+    batch_size=16,
+    beam_width=3,
+    top_n=5,
+    max_title_len=14,
+    eval_queries=24,
+    human_eval_queries=40,
+    abtest_days=2,
+    abtest_sessions_per_day=60,
+)
+
+DEFAULT = ExperimentScale(
+    name="default",
+    products_per_category=30,
+    num_sessions=12000,
+    d_model=48,
+    num_heads=4,
+    d_ff=96,
+    forward_layers=2,
+    backward_layers=1,
+    warmup_steps=300,
+    joint_steps=300,
+    batch_size=16,
+    beam_width=3,
+    top_n=8,
+    max_title_len=16,
+    eval_queries=48,
+    human_eval_queries=120,
+    abtest_days=10,
+    abtest_sessions_per_day=200,
+)

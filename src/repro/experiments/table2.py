@@ -1,0 +1,50 @@
+"""Table II — model hyperparameters (paper values vs reproduction values)."""
+
+from __future__ import annotations
+
+from repro.experiments.rendering import ascii_table
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scale import ExperimentScale, SMALL
+from repro.models.config import paper_hyperparameters
+
+
+def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
+    paper = paper_hyperparameters()
+    measured = {
+        "query_to_title": {
+            "transformer_layers": scale.forward_layers,
+            "num_heads": scale.num_heads,
+            "feed_forward_hidden": scale.d_ff,
+            "embedding_dim": scale.d_model,
+            "dropout": 0.0,
+        },
+        "title_to_query": {
+            "transformer_layers": scale.backward_layers,
+            "num_heads": scale.num_heads,
+            "feed_forward_hidden": scale.d_ff,
+            "embedding_dim": scale.d_model,
+            "dropout": 0.0,
+        },
+    }
+    rows = []
+    for key in paper["query_to_title"]:
+        rows.append(
+            [
+                key,
+                paper["query_to_title"][key],
+                paper["title_to_query"][key],
+                measured["query_to_title"][key],
+                measured["title_to_query"][key],
+            ]
+        )
+    rendered = ascii_table(
+        ["hyperparameter", "paper q2t", "paper t2q", "repro q2t", "repro t2q"], rows
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Model hyperparameters",
+        measured=measured,
+        paper=paper,
+        rendered=rendered,
+        notes="Widths are scaled to the NumPy/CPU substrate; the q2t-deeper-than-t2q asymmetry is preserved.",
+    )

@@ -1,0 +1,105 @@
+"""Common seq2seq model interface.
+
+Two views of the same model:
+
+* **Training** — ``forward(src, tgt_in)`` returns per-position logits under
+  teacher forcing.
+* **Decoding** — ``start(src)`` builds a :class:`DecodeState`, and
+  ``step(state, last_tokens)`` advances one target position, returning the
+  next-token logits.  The state object is immutable-by-convention: ``step``
+  returns a new state, so branching decoders (beam search, top-n sampling)
+  can keep several states alive and ``reorder`` them when beams shuffle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.nn.loss import sequence_cross_entropy
+from repro.nn.module import Module
+
+
+@dataclass
+class DecodeState:
+    """Model-specific decoding state.
+
+    ``payload`` is owned by the model; decoders only thread it through and
+    call :meth:`reorder` when beam hypotheses are permuted/duplicated.
+    """
+
+    batch_size: int
+    payload: dict[str, Any]
+
+    def reorder(self, index: np.ndarray, model: "Seq2SeqModel") -> "DecodeState":
+        """Select/duplicate batch entries according to ``index``."""
+        return model.reorder_state(self, np.asarray(index))
+
+
+class Seq2SeqModel(Module):
+    """Base class for all translation models."""
+
+    def __init__(self, vocab_size: int, pad_id: int, sos_id: int, eos_id: int):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.pad_id = pad_id
+        self.sos_id = sos_id
+        self.eos_id = eos_id
+
+    # -- training view ------------------------------------------------------
+    def forward(self, src: np.ndarray, tgt_in: np.ndarray) -> Tensor:  # pragma: no cover
+        """Teacher-forcing logits of shape (batch, tgt_len, vocab)."""
+        raise NotImplementedError
+
+    def loss(self, src: np.ndarray, tgt_in: np.ndarray, tgt_out: np.ndarray,
+             label_smoothing: float = 0.0) -> tuple[Tensor, int]:
+        """Convenience: mean token cross entropy for a padded batch."""
+        logits = self.forward(src, tgt_in)
+        return sequence_cross_entropy(logits, tgt_out, self.pad_id, label_smoothing)
+
+    # -- decoding view --------------------------------------------------------
+    def start(self, src: np.ndarray) -> DecodeState:  # pragma: no cover
+        """Encode sources and return the initial decode state."""
+        raise NotImplementedError
+
+    def step(self, state: DecodeState, last_tokens: np.ndarray) -> tuple[np.ndarray, DecodeState]:
+        """Advance one step; returns (next-token logits as ndarray, new state).
+
+        ``last_tokens`` is the (batch,) array of tokens emitted at the
+        previous position (SOS for the first step).
+        """
+        raise NotImplementedError  # pragma: no cover
+
+    def reorder_state(self, state: DecodeState, index: np.ndarray) -> DecodeState:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- scoring ---------------------------------------------------------------
+    def sequence_log_prob(self, src: np.ndarray, tgt: np.ndarray) -> np.ndarray:
+        """log P(tgt | src) per batch element, summed over non-pad positions.
+
+        ``tgt`` must include SOS and EOS.  Used by the inference pipeline to
+        score candidate rewrites (Section III-E) and by the cyclic loss
+        diagnostics.
+        """
+        src = np.asarray(src)
+        tgt = np.asarray(tgt)
+        with no_grad():
+            logits = self.forward(src, tgt[:, :-1])
+        log_probs = logits.log_softmax(axis=-1).data
+        labels = tgt[:, 1:]
+        batch, seq_len = labels.shape
+        picked = log_probs[np.arange(batch)[:, None], np.arange(seq_len)[None, :], labels]
+        mask = labels != self.pad_id
+        return (picked * mask).sum(axis=1)
+
+    def token_accuracy(self, src: np.ndarray, tgt_in: np.ndarray, tgt_out: np.ndarray) -> float:
+        """Fraction of non-pad positions predicted correctly (paper Fig 7c)."""
+        with no_grad():
+            logits = self.forward(src, tgt_in)
+        predictions = logits.data.argmax(axis=-1)
+        mask = tgt_out != self.pad_id
+        correct = ((predictions == tgt_out) & mask).sum()
+        return float(correct) / max(1, int(mask.sum()))

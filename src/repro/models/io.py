@@ -1,0 +1,34 @@
+"""Model checkpointing.
+
+The paper's deployment precomputes rewrites offline with trained models;
+persisting and reloading weights is the substrate for that workflow.
+Checkpoints are plain ``.npz`` archives of the state dict — no pickling of
+code, so they are safe to share and stable across refactors that keep
+parameter names.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_weights(model: Module, path: str | pathlib.Path) -> None:
+    """Write the model's parameters to an ``.npz`` checkpoint."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **model.state_dict())
+
+
+def load_weights(model: Module, path: str | pathlib.Path) -> None:
+    """Load an ``.npz`` checkpoint into an already-constructed model.
+
+    The model must have the same architecture (parameter names and shapes)
+    as the one that produced the checkpoint; mismatches raise.
+    """
+    with np.load(pathlib.Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)

@@ -1,0 +1,131 @@
+"""Transformer encoder-decoder translation model (the paper's main model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.models.base import DecodeState, Seq2SeqModel
+from repro.models.config import ModelConfig
+from repro.nn import (
+    Embedding,
+    Linear,
+    PositionalEncoding,
+    TransformerDecoder,
+    TransformerEncoder,
+)
+from repro.nn.attention import causal_mask, padding_mask
+
+
+class TransformerNMT(Seq2SeqModel):
+    """Standard transformer NMT (Vaswani et al. 2017) on our substrate.
+
+    The paper instantiates this twice: a 4-layer model for query-to-title
+    (which must "memorize" the much larger title space) and a 1-layer model
+    for title-to-query (closer to summarization).  Layer counts come from
+    the :class:`~repro.models.config.ModelConfig`.
+    """
+
+    def __init__(self, config: ModelConfig, pad_id: int = 0, sos_id: int = 1, eos_id: int = 2):
+        super().__init__(config.vocab_size, pad_id, sos_id, eos_id)
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embedding = Embedding(
+            config.vocab_size, config.d_model, padding_idx=pad_id, rng=rng
+        )
+        self.positional = PositionalEncoding(config.d_model, max_len=config.max_len)
+        self.encoder = TransformerEncoder(
+            config.encoder_layers,
+            config.d_model,
+            config.num_heads,
+            config.d_ff,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        self.decoder = TransformerDecoder(
+            config.decoder_layers,
+            config.d_model,
+            config.num_heads,
+            config.d_ff,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        self.output_proj = Linear(config.d_model, config.vocab_size, rng=rng)
+        self._embed_scale = config.d_model**0.5
+
+    # -- shared pieces ---------------------------------------------------------
+    def _embed(self, token_ids: np.ndarray, offset: int = 0) -> Tensor:
+        return self.positional(self.embedding(token_ids) * self._embed_scale, offset=offset)
+
+    def encode(self, src: np.ndarray) -> tuple[Tensor, np.ndarray]:
+        """Returns (memory, src_key_mask)."""
+        src = np.asarray(src)
+        src_mask = padding_mask(src, self.pad_id)
+        memory = self.encoder(self._embed(src), mask=src_mask)
+        return memory, src_mask
+
+    # -- training view --------------------------------------------------------
+    def forward(self, src: np.ndarray, tgt_in: np.ndarray) -> Tensor:
+        src = np.asarray(src)
+        tgt_in = np.asarray(tgt_in)
+        memory, src_mask = self.encode(src)
+        tgt_len = tgt_in.shape[1]
+        self_mask = causal_mask(tgt_len) | padding_mask(tgt_in, self.pad_id)
+        decoded = self.decoder(
+            self._embed(tgt_in), memory, self_mask=self_mask, memory_mask=src_mask
+        )
+        return self.output_proj(decoded)
+
+    # -- decoding view ------------------------------------------------------------
+    def start(self, src: np.ndarray) -> DecodeState:
+        src = np.asarray(src)
+        with no_grad():
+            memory, src_mask = self.encode(src)
+        return DecodeState(
+            batch_size=src.shape[0],
+            payload={
+                "memory": memory.data,
+                "src_mask": src_mask,
+                "prefix": np.zeros((src.shape[0], 0), dtype=np.int64),
+            },
+        )
+
+    def step(self, state: DecodeState, last_tokens: np.ndarray) -> tuple[np.ndarray, DecodeState]:
+        prefix = np.concatenate(
+            [state.payload["prefix"], np.asarray(last_tokens).reshape(-1, 1)], axis=1
+        )
+        memory = Tensor(state.payload["memory"])
+        src_mask = state.payload["src_mask"]
+        tgt_len = prefix.shape[1]
+        # The full prefix is re-decoded each step: per-step cost grows with
+        # the prefix length, which is precisely the latency bottleneck the
+        # paper's Section III-G attributes to transformer decoders.
+        self_mask = causal_mask(tgt_len) | padding_mask(prefix, self.pad_id)
+        with no_grad():
+            decoded = self.decoder(
+                self._embed(prefix), memory, self_mask=self_mask, memory_mask=src_mask
+            )
+            logits = self.output_proj(decoded[:, -1, :])
+        new_state = DecodeState(
+            batch_size=state.batch_size,
+            payload={"memory": memory.data, "src_mask": src_mask, "prefix": prefix},
+        )
+        return logits.data, new_state
+
+    def reorder_state(self, state: DecodeState, index: np.ndarray) -> DecodeState:
+        payload = state.payload
+        return DecodeState(
+            batch_size=len(index),
+            payload={
+                "memory": payload["memory"][index],
+                "src_mask": payload["src_mask"][index],
+                "prefix": payload["prefix"][index],
+            },
+        )
+
+    # -- introspection -----------------------------------------------------------
+    def cross_attention_maps(self) -> list[np.ndarray]:
+        """Per-layer cross-attention weights from the most recent forward
+        pass, each of shape (batch, heads, tgt_len, src_len) — the raw
+        material of the paper's Figure 6 heat maps."""
+        return self.decoder.cross_attention_weights

@@ -1,0 +1,54 @@
+"""Neural-network modules built on :mod:`repro.autograd`.
+
+Provides everything the paper's translation models need: embeddings with
+positional encodings, multi-head attention, transformer encoder/decoder
+stacks, vanilla RNN and GRU recurrent layers, layer normalization, dropout,
+and a padding-aware cross-entropy loss.
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.norm import LayerNorm
+from repro.nn.dropout import Dropout
+from repro.nn.positional import PositionalEncoding
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import (
+    FeedForward,
+    TransformerEncoderLayer,
+    TransformerDecoderLayer,
+    TransformerEncoder,
+    TransformerDecoder,
+)
+from repro.nn.rnn import (
+    RNNCell,
+    GRUCell,
+    RecurrentEncoder,
+    RecurrentDecoderCell,
+    AdditiveAttention,
+)
+from repro.nn.loss import cross_entropy, sequence_cross_entropy
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "PositionalEncoding",
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "TransformerEncoder",
+    "TransformerDecoder",
+    "RNNCell",
+    "GRUCell",
+    "RecurrentEncoder",
+    "RecurrentDecoderCell",
+    "AdditiveAttention",
+    "cross_entropy",
+    "sequence_cross_entropy",
+]

@@ -1,0 +1,68 @@
+"""Cross-entropy losses for sequence models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Mean cross entropy between ``(N, vocab)`` logits and ``(N,)`` targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=-1)
+    n = targets.shape[0]
+    nll = -log_probs[np.arange(n), targets]
+    if label_smoothing > 0.0:
+        smooth = -log_probs.mean(axis=-1)
+        nll = (1.0 - label_smoothing) * nll + label_smoothing * smooth
+    return nll.mean()
+
+
+def sequence_cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    pad_id: int,
+    label_smoothing: float = 0.0,
+) -> tuple[Tensor, int]:
+    """Token-mean cross entropy over a padded batch.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, seq, vocab)`` unnormalized scores.
+    targets:
+        ``(batch, seq)`` integer token ids; positions equal to ``pad_id``
+        are excluded from the loss.
+    label_smoothing:
+        Mass spread uniformly over the vocabulary.
+
+    Returns
+    -------
+    (loss, num_tokens):
+        ``loss`` is the mean negative log likelihood per non-pad token (an
+        autograd scalar); ``num_tokens`` the count of non-pad positions.
+        ``exp(loss)`` is the perplexity reported in the paper's Figure 7.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    batch, seq_len, vocab = logits.shape
+    flat_logits = logits.reshape(batch * seq_len, vocab)
+    flat_targets = targets.reshape(-1)
+    mask = flat_targets != pad_id
+    num_tokens = int(mask.sum())
+    if num_tokens == 0:
+        raise ValueError("sequence_cross_entropy received a batch of only PAD tokens")
+
+    log_probs = flat_logits.log_softmax(axis=-1)
+    picked = -log_probs[np.arange(batch * seq_len), flat_targets]
+    if label_smoothing > 0.0:
+        smooth = -log_probs.mean(axis=-1)
+        picked = (1.0 - label_smoothing) * picked + label_smoothing * smooth
+    # Zero the padded positions, then average over real tokens.
+    picked = picked.masked_fill(~mask, 0.0)
+    loss = picked.sum() / num_tokens
+    return loss, num_tokens

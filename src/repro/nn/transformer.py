@@ -1,0 +1,171 @@
+"""Transformer encoder/decoder stacks (pre-norm variant).
+
+These are the building blocks for the paper's query-to-title (4 layers) and
+title-to-query (1 layer) translation models.  We use pre-layer-norm residual
+blocks, which train stably without a warmup-sensitive schedule at the small
+scales of this reproduction; the original post-norm formulation differs only
+in where LayerNorm sits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.nn.norm import LayerNorm
+
+
+class FeedForward(Module):
+    """Position-wise two-layer MLP with ReLU."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.fc1 = Linear(d_model, d_ff, rng=rng)
+        self.fc2 = Linear(d_ff, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.dropout(self.fc1(x).relu()))
+
+
+class TransformerEncoderLayer(Module):
+    """Self-attention + feed-forward block with pre-norm residuals."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.self_attn = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.ff = FeedForward(d_model, d_ff, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        normed = self.norm1(x)
+        x = x + self.dropout(self.self_attn(normed, normed, normed, mask=mask))
+        x = x + self.dropout(self.ff(self.norm2(x)))
+        return x
+
+
+class TransformerDecoderLayer(Module):
+    """Masked self-attention + cross-attention + feed-forward block."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.self_attn = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.cross_attn = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.ff = FeedForward(d_model, d_ff, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.norm3 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: np.ndarray | None = None,
+        memory_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        normed = self.norm1(x)
+        x = x + self.dropout(self.self_attn(normed, normed, normed, mask=self_mask))
+        normed = self.norm2(x)
+        x = x + self.dropout(self.cross_attn(normed, memory, memory, mask=memory_mask))
+        x = x + self.dropout(self.ff(self.norm3(x)))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers with a final LayerNorm."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = ModuleList(
+            TransformerEncoderLayer(d_model, num_heads, d_ff, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        )
+        self.final_norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return self.final_norm(x)
+
+
+class TransformerDecoder(Module):
+    """Stack of decoder layers with a final LayerNorm.
+
+    :attr:`cross_attention_weights` exposes the per-layer cross-attention
+    maps from the last forward pass for visualization (paper Figure 6).
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = ModuleList(
+            TransformerDecoderLayer(d_model, num_heads, d_ff, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        )
+        self.final_norm = LayerNorm(d_model)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: np.ndarray | None = None,
+        memory_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, memory, self_mask=self_mask, memory_mask=memory_mask)
+        return self.final_norm(x)
+
+    @property
+    def cross_attention_weights(self) -> list[np.ndarray]:
+        return [
+            layer.cross_attn.last_weights
+            for layer in self.layers
+            if layer.cross_attn.last_weights is not None
+        ]

@@ -1,0 +1,18 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains with Adam (lr=0.05, β1=0.9, β2=0.999, ε=1e-8) under the
+Noam schedule from "Attention Is All You Need"; both are implemented here
+along with SGD and global-norm gradient clipping.
+"""
+
+from repro.optim.optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from repro.optim.schedules import ConstantSchedule, NoamSchedule
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "NoamSchedule",
+    "ConstantSchedule",
+]

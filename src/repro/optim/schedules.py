@@ -1,0 +1,37 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+
+class ConstantSchedule:
+    """A fixed learning rate."""
+
+    def __init__(self, lr: float):
+        self.lr = lr
+
+    def rate(self, step: int) -> float:
+        return self.lr
+
+
+class NoamSchedule:
+    """The warmup-then-decay schedule of Vaswani et al. (2017).
+
+    ``rate(step) = factor * d_model^-0.5 * min(step^-0.5, step * warmup^-1.5)``
+
+    The paper adopts this schedule for its Adam optimizer.
+    """
+
+    def __init__(self, d_model: int, warmup_steps: int = 4000, factor: float = 1.0):
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        self.d_model = d_model
+        self.warmup_steps = warmup_steps
+        self.factor = factor
+
+    def rate(self, step: int) -> float:
+        step = max(step, 1)
+        return (
+            self.factor
+            * self.d_model**-0.5
+            * min(step**-0.5, step * self.warmup_steps**-1.5)
+        )

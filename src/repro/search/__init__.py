@@ -1,0 +1,35 @@
+"""Inverted-index retrieval substrate.
+
+Reproduces the paper's candidate-retrieval stage: documents (item titles)
+indexed by term, queries compiled into AND/OR syntax trees, and the
+Section III-H optimization that merges the original query and all rewritten
+queries into a *single* tree so multi-query retrieval costs barely more
+than one-query retrieval (Figure 5).
+"""
+
+from repro.search.inverted_index import InvertedIndex, RetrievalResult
+from repro.search.syntax_tree import (
+    SyntaxNode,
+    TermNode,
+    AndNode,
+    OrNode,
+    build_tree,
+    merge_queries,
+    tree_size,
+)
+from repro.search.engine import SearchEngine, SearchConfig, SearchOutcome
+
+__all__ = [
+    "InvertedIndex",
+    "RetrievalResult",
+    "SyntaxNode",
+    "TermNode",
+    "AndNode",
+    "OrNode",
+    "build_tree",
+    "merge_queries",
+    "tree_size",
+    "SearchEngine",
+    "SearchConfig",
+    "SearchOutcome",
+]

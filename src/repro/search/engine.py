@@ -1,0 +1,133 @@
+"""Rewrite-aware search engine over the synthetic catalog.
+
+Wires together tokenization, syntax-tree construction (optionally merged
+per Section III-H), inverted-index retrieval, and a simple term-overlap
+ranker — enough substrate to measure both the retrieval-cost claims
+(Figure 5 / Table-level CPU cost) and the recall gains that drive the
+paper's online metrics (Table VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.catalog import Catalog
+from repro.search.inverted_index import InvertedIndex
+from repro.search.syntax_tree import build_tree, merge_queries, tree_size
+from repro.text import tokenize
+
+
+@dataclass
+class SearchConfig:
+    #: candidate cap per retrieval (paper: each rewrite adds at most 1,000)
+    max_candidates: int = 1000
+    #: merge rewrites into one syntax tree (Section III-H) or run one tree
+    #: per query (the naive approach the paper rejects)
+    merge_trees: bool = True
+
+
+@dataclass
+class SearchOutcome:
+    """Everything one retrieval produced, including system-cost accounting."""
+
+    query: str
+    rewrites: list[str]
+    doc_ids: list[int]
+    postings_accessed: int
+    tree_nodes: int
+    num_trees: int
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+
+class SearchEngine:
+    """Inverted-index retrieval over a product catalog."""
+
+    def __init__(self, catalog: Catalog, config: SearchConfig | None = None):
+        self.catalog = catalog
+        self.config = config or SearchConfig()
+        self.index = InvertedIndex()
+        for product in catalog.products:
+            self.index.add_document(product.product_id, product.title_tokens)
+
+    # -- retrieval -------------------------------------------------------------
+    def search(self, query: str, rewrites: list[str] | None = None) -> SearchOutcome:
+        """Retrieve candidates for ``query`` plus optional rewrites."""
+        rewrites = rewrites or []
+        queries = [tokenize(query)] + [tokenize(r) for r in rewrites]
+        queries = [q for q in queries if q]
+        if not queries:
+            raise ValueError("search received an empty query")
+
+        if self.config.merge_trees:
+            tree = merge_queries(queries)
+            result = tree.evaluate(self.index)
+            nodes = tree_size(tree)
+            num_trees = 1
+            docs = result.doc_ids
+            cost = result.postings_accessed
+        else:
+            docs = set()
+            cost = 0
+            nodes = 0
+            for q in queries:
+                tree = build_tree(q)
+                result = tree.evaluate(self.index)
+                docs |= result.doc_ids
+                cost += result.postings_accessed
+                nodes += tree_size(tree)
+            num_trees = len(queries)
+
+        ranked = self._rank(queries[0], docs)[: self.config.max_candidates]
+        return SearchOutcome(
+            query=query,
+            rewrites=list(rewrites),
+            doc_ids=ranked,
+            postings_accessed=cost,
+            tree_nodes=nodes,
+            num_trees=num_trees,
+        )
+
+    # -- ranking -----------------------------------------------------------------
+    def _rank(self, query_tokens: list[str], doc_ids: set[int]) -> list[int]:
+        """Order candidates by query-term overlap with the title (tf-style),
+        breaking ties by doc id for determinism."""
+        query_set = set(query_tokens)
+
+        def score(doc_id: int) -> tuple[int, int]:
+            title = self.index.document(doc_id)
+            overlap = sum(1 for t in title if t in query_set)
+            return (-overlap, doc_id)
+
+        return sorted(doc_ids, key=score)
+
+    # -- cost comparison (Section III-H experiment) ---------------------------------
+    def compare_costs(self, query: str, rewrites: list[str]) -> dict[str, float]:
+        """Merged-tree vs per-query-trees costs for the same request."""
+        merged_engine_cfg = SearchConfig(
+            max_candidates=self.config.max_candidates, merge_trees=True
+        )
+        separate_engine_cfg = SearchConfig(
+            max_candidates=self.config.max_candidates, merge_trees=False
+        )
+        saved_config = self.config
+        try:
+            self.config = merged_engine_cfg
+            merged = self.search(query, rewrites)
+            self.config = separate_engine_cfg
+            separate = self.search(query, rewrites)
+        finally:
+            self.config = saved_config
+        if set(merged.doc_ids) != set(separate.doc_ids):
+            raise AssertionError(
+                "merged and separate retrieval disagree — tree merge is unsound"
+            )
+        return {
+            "merged_postings": merged.postings_accessed,
+            "separate_postings": separate.postings_accessed,
+            "merged_nodes": merged.tree_nodes,
+            "separate_nodes": separate.tree_nodes,
+            "postings_ratio": merged.postings_accessed / max(1, separate.postings_accessed),
+            "nodes_ratio": merged.tree_nodes / max(1, separate.tree_nodes),
+        }

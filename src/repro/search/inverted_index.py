@@ -1,0 +1,74 @@
+"""In-memory inverted index with access-cost accounting.
+
+The cost model counts postings touched per retrieval, which is the quantity
+the paper's Section III-H optimization reduces: evaluating N separate
+syntax trees re-reads shared terms' postings N times, while the merged tree
+reads each term's postings once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RetrievalResult:
+    """Doc ids plus the postings-access cost incurred to produce them."""
+
+    doc_ids: set[int]
+    postings_accessed: int
+
+
+class InvertedIndex:
+    """token -> sorted doc-id postings."""
+
+    def __init__(self):
+        self._postings: dict[str, list[int]] = {}
+        self._docs: dict[int, tuple[str, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    def add_document(self, doc_id: int, tokens: list[str] | tuple[str, ...]) -> None:
+        if doc_id in self._docs:
+            raise ValueError(f"document {doc_id} already indexed")
+        self._docs[doc_id] = tuple(tokens)
+        for token in sorted(set(tokens)):
+            self._postings.setdefault(token, []).append(doc_id)
+
+    def document(self, doc_id: int) -> tuple[str, ...]:
+        return self._docs[doc_id]
+
+    def postings(self, token: str) -> list[int]:
+        """The postings list for ``token`` (empty if unseen)."""
+        return self._postings.get(token, [])
+
+    def postings_length(self, token: str) -> int:
+        return len(self._postings.get(token, ()))
+
+    # -- primitive retrievals (each reports its own cost) ----------------------
+    def lookup(self, token: str) -> RetrievalResult:
+        postings = self.postings(token)
+        return RetrievalResult(doc_ids=set(postings), postings_accessed=len(postings))
+
+    def intersect(self, tokens: list[str]) -> RetrievalResult:
+        """AND of term postings, cheapest-first to keep cost low."""
+        if not tokens:
+            return RetrievalResult(doc_ids=set(self._docs), postings_accessed=0)
+        ordered = sorted(set(tokens), key=self.postings_length)
+        cost = 0
+        result: set[int] | None = None
+        for token in ordered:
+            postings = self.postings(token)
+            cost += len(postings)
+            if result is None:
+                result = set(postings)
+            else:
+                result &= set(postings)
+            if not result:
+                break
+        return RetrievalResult(doc_ids=result or set(), postings_accessed=cost)

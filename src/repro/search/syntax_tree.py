@@ -1,0 +1,229 @@
+"""Query syntax trees and the merged-tree optimization (Section III-H).
+
+A single query compiles to an AND over its terms.  Serving N rewritten
+queries naively means N separate trees — and N retrievals.  The paper
+instead merges all queries into ONE tree:
+
+* tokens common to every query stay as shared AND children;
+* each query's residual tokens form an AND group;
+* the residual groups are joined under one OR node.
+
+Figure 5's example::
+
+    origin  = red & men & sock
+    query 1 = red & men & breathable & low-cut-sock
+    query 2 = red & men & anklet
+
+    merged  = red & men & (sock | (breathable & low-cut-sock) | anklet)
+
+The merged tree is only slightly larger than the original query's tree
+because rewritten queries share most tokens with the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.search.inverted_index import InvertedIndex, RetrievalResult
+
+
+class SyntaxNode:
+    """Base class: a boolean retrieval expression."""
+
+    def evaluate(self, index: InvertedIndex) -> RetrievalResult:  # pragma: no cover
+        raise NotImplementedError
+
+    def size(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def terms(self) -> set[str]:  # pragma: no cover
+        raise NotImplementedError
+
+    def cost_estimate(self, index: InvertedIndex) -> int:  # pragma: no cover
+        """Optimistic postings-access estimate, used to order AND children
+        so cheap/selective children run first and empty intersections break
+        early."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TermNode(SyntaxNode):
+    token: str
+
+    def evaluate(self, index: InvertedIndex) -> RetrievalResult:
+        return index.lookup(self.token)
+
+    def size(self) -> int:
+        return 1
+
+    def terms(self) -> set[str]:
+        return {self.token}
+
+    def cost_estimate(self, index: InvertedIndex) -> int:
+        return index.postings_length(self.token)
+
+    def __repr__(self) -> str:
+        return self.token
+
+
+@dataclass(frozen=True)
+class AndNode(SyntaxNode):
+    children: tuple[SyntaxNode, ...]
+
+    def evaluate(self, index: InvertedIndex) -> RetrievalResult:
+        if not self.children:
+            return RetrievalResult(doc_ids=set(), postings_accessed=0)
+        docs: set[int] | None = None
+        cost = 0
+        # Evaluate cheap/selective children first, so an empty intersection
+        # breaks before touching expensive postings.
+        ordered = sorted(self.children, key=lambda c: c.cost_estimate(index))
+        for child in ordered:
+            result = child.evaluate(index)
+            cost += result.postings_accessed
+            docs = result.doc_ids if docs is None else docs & result.doc_ids
+            if not docs:
+                break
+        return RetrievalResult(doc_ids=docs or set(), postings_accessed=cost)
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+    def terms(self) -> set[str]:
+        return set().union(*(c.terms() for c in self.children)) if self.children else set()
+
+    def cost_estimate(self, index: InvertedIndex) -> int:
+        # Optimistic: an AND may break after its cheapest child.
+        return min((c.cost_estimate(index) for c in self.children), default=0)
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class OrNode(SyntaxNode):
+    children: tuple[SyntaxNode, ...]
+
+    def evaluate(self, index: InvertedIndex) -> RetrievalResult:
+        docs: set[int] = set()
+        cost = 0
+        for child in self.children:
+            result = child.evaluate(index)
+            cost += result.postings_accessed
+            docs |= result.doc_ids
+        return RetrievalResult(doc_ids=docs, postings_accessed=cost)
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+    def terms(self) -> set[str]:
+        return set().union(*(c.terms() for c in self.children)) if self.children else set()
+
+    def cost_estimate(self, index: InvertedIndex) -> int:
+        # An OR must evaluate every branch.
+        return sum(c.cost_estimate(index) for c in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(c) for c in self.children) + ")"
+
+
+def build_tree(tokens: list[str] | tuple[str, ...]) -> SyntaxNode:
+    """Compile one query into an AND over its distinct terms."""
+    distinct = sorted(set(tokens))
+    if not distinct:
+        raise ValueError("cannot build a syntax tree for an empty query")
+    if len(distinct) == 1:
+        return TermNode(distinct[0])
+    return AndNode(children=tuple(TermNode(t) for t in distinct))
+
+
+def merge_queries(queries: list[list[str] | tuple[str, ...]]) -> SyntaxNode:
+    """Merge several queries into one tree (Section III-H, Figure 5).
+
+    The first query is conventionally the original; order does not affect
+    the result.  Merging greedily factors out the token shared by the most
+    queries, recursively::
+
+        origin  = red & men & sock
+        query 1 = red & men & breathable & low-cut-sock
+        query 2 = red & men & anklet
+
+        merged  = red & men & (sock | (breathable & low-cut-sock) | anklet)
+
+    The merged tree retrieves exactly the union of the per-query
+    retrievals while reading each shared token's postings once.  Two
+    special cases fall out of the factorization: duplicate queries
+    collapse, and a query subsumed by a shared prefix (its tokens are a
+    subset of another's) absorbs the more specific one.
+    """
+    token_sets: list[frozenset[str]] = []
+    seen: set[frozenset[str]] = set()
+    for query in queries:
+        if not query:
+            continue
+        tokens = frozenset(query)
+        if tokens not in seen:
+            seen.add(tokens)
+            token_sets.append(tokens)
+    if not token_sets:
+        raise ValueError("merge_queries needs at least one non-empty query")
+    return _factor(token_sets)
+
+
+def _factor(token_sets: list[frozenset[str]]) -> SyntaxNode:
+    """Recursive greedy factorization of a union of AND-queries."""
+    if len(token_sets) == 1:
+        return _and_of(sorted(token_sets[0]))
+
+    counts: dict[str, int] = {}
+    for tokens in token_sets:
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+    best_token = min(counts, key=lambda t: (-counts[t], t))
+    if counts[best_token] == 1:
+        # No sharing left: plain OR of the individual query trees.
+        return _or_of([_and_of(sorted(s)) for s in token_sets])
+
+    with_token = [s - {best_token} for s in token_sets if best_token in s]
+    without = [s for s in token_sets if best_token not in s]
+
+    if any(not residual for residual in with_token):
+        # One query is exactly {best_token} (plus already-factored tokens):
+        # it subsumes every other query sharing that token.
+        shared: SyntaxNode = TermNode(best_token)
+    else:
+        inner = _factor([frozenset(s) for s in with_token])
+        shared = _and_flat(TermNode(best_token), inner)
+    if not without:
+        return shared
+    return _or_of([shared, _factor(without)])
+
+
+def _and_of(tokens: list[str]) -> SyntaxNode:
+    if len(tokens) == 1:
+        return TermNode(tokens[0])
+    return AndNode(children=tuple(TermNode(t) for t in tokens))
+
+
+def _and_flat(term: TermNode, inner: SyntaxNode) -> SyntaxNode:
+    """AND(term, inner), flattening nested ANDs to keep the tree small."""
+    if isinstance(inner, AndNode):
+        return AndNode(children=(term, *inner.children))
+    return AndNode(children=(term, inner))
+
+
+def _or_of(nodes: list[SyntaxNode]) -> SyntaxNode:
+    flattened: list[SyntaxNode] = []
+    for node in nodes:
+        if isinstance(node, OrNode):
+            flattened.extend(node.children)
+        else:
+            flattened.append(node)
+    if len(flattened) == 1:
+        return flattened[0]
+    return OrNode(children=tuple(flattened))
+
+
+def tree_size(node: SyntaxNode) -> int:
+    """Node count — the paper's system-cost proxy for tree construction."""
+    return node.size()

@@ -1,0 +1,22 @@
+"""Text processing: vocabulary, tokenization, n-grams, edit distance."""
+
+from repro.text.tokenize import normalize, tokenize, detokenize
+from repro.text.vocab import Vocabulary, PAD, SOS, EOS, UNK
+from repro.text.ngrams import ngrams, ngram_multiset, ngram_f1, ngram_precision_recall
+from repro.text.edit_distance import levenshtein
+
+__all__ = [
+    "normalize",
+    "tokenize",
+    "detokenize",
+    "Vocabulary",
+    "PAD",
+    "SOS",
+    "EOS",
+    "UNK",
+    "ngrams",
+    "ngram_multiset",
+    "ngram_f1",
+    "ngram_precision_recall",
+    "levenshtein",
+]

@@ -1,0 +1,32 @@
+"""Levenshtein edit distance (paper Table VII, "Edit Distance" column)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def levenshtein(a: Sequence, b: Sequence) -> int:
+    """Minimum number of insertions/deletions/substitutions turning a into b.
+
+    Works on any sequence type: pass strings for character-level distance or
+    token lists for word-level distance (the paper's rewritten-vs-original
+    query comparison is at the token level).
+    """
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]

@@ -1,0 +1,53 @@
+"""N-gram utilities and the n-gram F1 metric of the paper's Table VII.
+
+The paper represents the original and rewritten query each as the set of
+its unigrams and bigrams, then computes precision (overlap / rewritten
+n-grams), recall (overlap / original n-grams) and F1 = 2pr/(p+r).  A *low*
+F1 means a lexically diverse rewrite, which — combined with high semantic
+similarity — is the behaviour the paper is after.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous n-grams of ``tokens``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def ngram_multiset(tokens: list[str], orders: tuple[int, ...] = (1, 2)) -> Counter:
+    """Multiset of all n-grams of the given orders (paper uses 1 and 2)."""
+    bag: Counter = Counter()
+    for n in orders:
+        bag.update(ngrams(tokens, n))
+    return bag
+
+
+def ngram_precision_recall(
+    rewritten: list[str],
+    original: list[str],
+    orders: tuple[int, ...] = (1, 2),
+) -> tuple[float, float]:
+    """(precision, recall) of rewritten-query n-grams against the original."""
+    bag_rewritten = ngram_multiset(rewritten, orders)
+    bag_original = ngram_multiset(original, orders)
+    overlap = sum((bag_rewritten & bag_original).values())
+    precision = overlap / max(1, sum(bag_rewritten.values()))
+    recall = overlap / max(1, sum(bag_original.values()))
+    return precision, recall
+
+
+def ngram_f1(
+    rewritten: list[str],
+    original: list[str],
+    orders: tuple[int, ...] = (1, 2),
+) -> float:
+    """F1 = 2pr/(p+r) over unigrams+bigrams, as in Table VII."""
+    p, r = ngram_precision_recall(rewritten, original, orders)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)

@@ -1,0 +1,34 @@
+"""Whitespace tokenization with light normalization.
+
+The paper tokenizes Chinese queries/titles into terms; our synthetic
+marketplace is English-token based, so whitespace splitting after
+normalization plays the same role.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PUNCT = re.compile(r"[^\w\s\-+.]")
+_SPACES = re.compile(r"\s+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase, strip punctuation (keeping word-internal - + .), squeeze spaces."""
+    text = text.lower()
+    text = _PUNCT.sub(" ", text)
+    text = _SPACES.sub(" ", text)
+    return text.strip()
+
+
+def tokenize(text: str) -> list[str]:
+    """Split normalized text into tokens."""
+    normalized = normalize(text)
+    if not normalized:
+        return []
+    return normalized.split(" ")
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Inverse of :func:`tokenize` for our whitespace-joined language."""
+    return " ".join(tokens)

@@ -1,0 +1,118 @@
+"""Token vocabulary with the special tokens used by seq2seq models."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+PAD = "<pad>"
+SOS = "<sos>"
+EOS = "<eos>"
+UNK = "<unk>"
+
+_SPECIALS = (PAD, SOS, EOS, UNK)
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping.
+
+    Ids 0..3 are reserved for ``<pad>``, ``<sos>``, ``<eos>``, ``<unk>`` in
+    that order; unknown tokens encode to ``<unk>``.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in _SPECIALS:
+            self._add(token)
+        for token in tokens:
+            self._add(token)
+
+    @classmethod
+    def build(
+        cls,
+        corpus: Iterable[list[str]],
+        min_freq: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Build from an iterable of token lists, most frequent first."""
+        counts = Counter()
+        for tokens in corpus:
+            counts.update(tokens)
+        # Sort by (-count, token) for determinism.
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        kept = [tok for tok, freq in ranked if freq >= min_freq and tok not in _SPECIALS]
+        if max_size is not None:
+            kept = kept[: max(0, max_size - len(_SPECIALS))]
+        return cls(kept)
+
+    def _add(self, token: str) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def add_token(self, token: str) -> int:
+        """Register an extra token (e.g. task separators) and return its id."""
+        return self._add(token)
+
+    # -- core mapping ---------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def sos_id(self) -> int:
+        return 1
+
+    @property
+    def eos_id(self) -> int:
+        return 2
+
+    @property
+    def unk_id(self) -> int:
+        return 3
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int:
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, idx: int) -> str:
+        if not 0 <= idx < len(self._id_to_token):
+            raise IndexError(f"token id {idx} out of range for vocab of size {len(self)}")
+        return self._id_to_token[idx]
+
+    # -- sequence encode/decode ------------------------------------------
+    def encode(self, tokens: list[str], add_sos: bool = False, add_eos: bool = True) -> list[int]:
+        """Map tokens to ids, optionally wrapping with SOS / EOS."""
+        ids = [self.token_to_id(t) for t in tokens]
+        if add_sos:
+            ids.insert(0, self.sos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Iterable[int], strip_special: bool = True) -> list[str]:
+        """Map ids back to tokens, by default dropping special tokens and
+        stopping at the first EOS."""
+        tokens: list[str] = []
+        for idx in ids:
+            token = self.id_to_token(int(idx))
+            if strip_special:
+                if token == EOS:
+                    break
+                if token in (PAD, SOS):
+                    continue
+            tokens.append(token)
+        return tokens
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (including specials)."""
+        return list(self._id_to_token)

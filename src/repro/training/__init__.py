@@ -1,0 +1,33 @@
+"""Training algorithms.
+
+* :class:`SeparateTrainer` — independent maximum-likelihood training of the
+  forward (query-to-title) and backward (title-to-query) models (Eq. 1-2).
+* :class:`CyclicTrainer` — the paper's Algorithm 1: warmup with separate
+  losses, then joint training with the cyclic-consistency likelihood
+  (Eq. 3) approximated over top-k sampled titles (Eq. 5).
+* :mod:`repro.training.evaluation` — the convergence metrics of Figure 7:
+  perplexity, token accuracy, and translate-back log probability.
+"""
+
+from repro.training.history import History
+from repro.training.seq_score import sequence_log_prob_tensor, batched_top_n_sampling
+from repro.training.separate import SeparateTrainer, TrainingConfig
+from repro.training.cyclic import CyclicTrainer, CyclicConfig
+from repro.training.evaluation import (
+    teacher_forced_metrics,
+    translate_back_metrics,
+    ConvergenceTracker,
+)
+
+__all__ = [
+    "History",
+    "sequence_log_prob_tensor",
+    "batched_top_n_sampling",
+    "SeparateTrainer",
+    "TrainingConfig",
+    "CyclicTrainer",
+    "CyclicConfig",
+    "teacher_forced_metrics",
+    "translate_back_metrics",
+    "ConvergenceTracker",
+]

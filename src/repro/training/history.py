@@ -1,0 +1,41 @@
+"""Training-curve recording."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class History:
+    """Append-only metric series keyed by name.
+
+    Each record is a (step, value) pair; :meth:`series` returns parallel
+    step/value lists for plotting or table rendering (paper Figures 7-9).
+    """
+
+    def __init__(self):
+        self._data: dict[str, list[tuple[int, float]]] = defaultdict(list)
+
+    def record(self, step: int, **metrics: float) -> None:
+        for name, value in metrics.items():
+            self._data[name].append((step, float(value)))
+
+    def series(self, name: str) -> tuple[list[int], list[float]]:
+        points = self._data.get(name, [])
+        return [s for s, _ in points], [v for _, v in points]
+
+    def last(self, name: str) -> float:
+        points = self._data.get(name)
+        if not points:
+            raise KeyError(f"no metric named {name!r} recorded")
+        return points[-1][1]
+
+    def names(self) -> list[str]:
+        return sorted(self._data)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def merge(self, other: "History", prefix: str = "") -> None:
+        """Copy all series from ``other``, optionally prefixing names."""
+        for name, points in other._data.items():
+            self._data[f"{prefix}{name}"].extend(points)

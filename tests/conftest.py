@@ -1,0 +1,73 @@
+"""Shared fixtures: tiny marketplaces and models sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import MarketplaceConfig, generate_marketplace
+from repro.data.catalog import CatalogConfig
+from repro.data.clicklog import ClickLogConfig
+from repro.models import ModelConfig, TransformerNMT
+
+
+TINY_MODEL = ModelConfig(
+    vocab_size=64,
+    d_model=16,
+    num_heads=2,
+    d_ff=32,
+    encoder_layers=1,
+    decoder_layers=1,
+    dropout=0.0,
+    max_len=48,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_market():
+    """A small but complete marketplace (catalog, clicks, vocab, splits)."""
+    return generate_marketplace(
+        MarketplaceConfig(
+            catalog=CatalogConfig(products_per_category=6),
+            clicks=ClickLogConfig(num_sessions=1200, intent_pool_size=120),
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_pair(tiny_market):
+    """A briefly joint-trained forward/backward transformer pair."""
+    from repro.training import CyclicConfig, CyclicTrainer
+
+    vocab_size = len(tiny_market.vocab)
+    forward = TransformerNMT(TINY_MODEL.scaled(vocab_size=vocab_size, seed=0))
+    backward = TransformerNMT(TINY_MODEL.scaled(vocab_size=vocab_size, seed=1))
+    trainer = CyclicTrainer(
+        forward,
+        backward,
+        tiny_market.train_pairs,
+        tiny_market.vocab,
+        CyclicConfig(
+            batch_size=16,
+            max_steps=120,
+            beam_width=2,
+            top_n=5,
+            warmup_steps=90,
+            max_title_len=12,
+            seed=0,
+        ),
+    )
+    trainer.train(120)
+    return forward, backward, trainer
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def tiny_model_config(tiny_market):
+    return TINY_MODEL.scaled(vocab_size=len(tiny_market.vocab))

@@ -1,0 +1,45 @@
+"""Numerical gradient checking shared by autograd/nn tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f() with respect to array x
+    (f must read x by reference)."""
+    grad = np.zeros_like(x)
+    iterator = np.nditer(x, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = x[index]
+        x[index] = original + eps
+        f_plus = f()
+        x[index] = original - eps
+        f_minus = f()
+        x[index] = original
+        grad[index] = (f_plus - f_minus) / (2.0 * eps)
+        iterator.iternext()
+    return grad
+
+
+def assert_grad_matches(build, *shapes, seed: int = 0, atol: float = 1e-4):
+    """Check autograd gradients of scalar-valued ``build(*tensors)`` against
+    numerical differentiation for every input."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=shape) for shape in shapes]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+
+    for position, array in enumerate(arrays):
+        def scalar() -> float:
+            fresh = [Tensor(a) for a in arrays]
+            return float(build(*fresh).data)
+
+        expected = numerical_gradient(scalar, array)
+        actual = tensors[position].grad
+        assert actual is not None, f"input {position} received no gradient"
+        np.testing.assert_allclose(actual, expected, atol=atol, err_msg=f"input {position}")

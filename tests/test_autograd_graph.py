@@ -1,0 +1,107 @@
+"""Graph-level autograd behaviour: accumulation, reuse, no_grad, deep chains."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, is_grad_enabled, no_grad
+
+
+class TestBackwardMechanics:
+    def test_gradient_accumulates_across_backward_calls(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        (t * 3.0).sum().backward()
+        (t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_shared_subexpression_accumulates(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        shared = t * 2.0
+        out = (shared + shared).sum()  # d/dt = 4
+        out.backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        a = t * 3.0
+        b = t * 5.0
+        (a * b).sum().backward()  # d/dt (15 t^2) = 30 t = 60
+        np.testing.assert_allclose(t.grad, [60.0])
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = t * 2.0
+        out.backward(np.full((2, 2), 0.5))
+        np.testing.assert_allclose(t.grad, np.ones((2, 2)))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        t = Tensor(np.ones(2))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_deep_chain_no_recursion_error(self):
+        """Recurrent models build 100+ step chains; iterative DFS must cope."""
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(500):
+            out = out * 1.001
+        out.sum().backward()
+        assert t.grad is not None
+        np.testing.assert_allclose(t.grad, [1.001**500], rtol=1e-9)
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            out = t * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data  # shares storage
+
+
+class TestTensorBasics:
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+    def test_numpy_returns_underlying(self):
+        arr = np.ones(3)
+        assert Tensor(arr).numpy() is arr
+
+    def test_constant_inputs_receive_no_grad(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2))  # constant
+        (a * b).sum().backward()
+        assert b.grad is None
+        assert a.grad is not None

@@ -1,0 +1,117 @@
+"""Rule-based rewriter and SimRank++ baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RuleBasedRewriter, SimRankPP, SimRankConfig
+from repro.data.synonyms import build_rule_dictionary
+
+
+class TestRuleBasedRewriter:
+    @pytest.fixture()
+    def rewriter(self):
+        return RuleBasedRewriter(build_rule_dictionary())
+
+    def test_single_token_replacement(self, rewriter):
+        results = rewriter.rewrite("phone for grandpa")
+        texts = [r.text for r in results]
+        assert "phone for senior" in texts
+
+    def test_multi_token_replacement_target(self, rewriter):
+        results = rewriter.rewrite("cheap cellphone")
+        texts = [r.text for r in results]
+        assert "cheap mobile phone" in texts  # one alias -> two tokens
+
+    def test_one_rewrite_per_match(self, rewriter):
+        results = rewriter.rewrite("cellphone for grandpa")
+        # two matched phrases -> two rewrites, each replacing one phrase
+        assert len(results) == 2
+        for result in results:
+            assert result.tokens != ("cellphone", "for", "grandpa")
+
+    def test_no_match_returns_empty(self, rewriter):
+        assert rewriter.rewrite("red sock") == []
+
+    def test_k_limits_output(self, rewriter):
+        results = rewriter.rewrite("cellphone for grandpa and grandma", k=1)
+        assert len(results) == 1
+
+    def test_polyseme_trap_is_context_blind(self, rewriter):
+        """The dictionary rewrites 'cherry' toward keyboards even in a fruit
+        context — the paper's Section IV-C2 failure case."""
+        results = rewriter.rewrite("fresh cherry fruit")
+        assert any("keyboard" in r.text for r in results)
+
+    def test_has_rule_for(self, rewriter):
+        assert rewriter.has_rule_for("cellphone please")
+        assert not rewriter.has_rule_for("red sock")
+
+    def test_longest_match_preferred(self):
+        rewriter = RuleBasedRewriter({"milk": "dairy", "milk powder": "formula"})
+        results = rewriter.rewrite("milk powder")
+        assert results[0].text == "formula"
+
+    def test_identity_rules_skipped(self):
+        rewriter = RuleBasedRewriter({"same": "same"})
+        assert rewriter.rewrite("same thing") == []
+
+    def test_rewrite_accepts_token_list(self, rewriter):
+        results = rewriter.rewrite(["cellphone"])
+        assert results and results[0].text == "mobile phone"
+
+
+class TestSimRankPP:
+    @pytest.fixture(scope="class")
+    def simrank(self, tiny_market):
+        return SimRankPP(tiny_market.click_log, SimRankConfig(max_queries=150, iterations=4))
+
+    def test_similarity_matrix_properties(self, simrank):
+        sim = simrank.similarity
+        n = len(simrank.queries)
+        assert sim.shape == (n, n)
+        np.testing.assert_allclose(np.diag(sim), np.ones(n))
+        np.testing.assert_allclose(sim, sim.T, atol=1e-9)
+        assert np.all(sim >= -1e-9)
+        assert np.all(sim <= 1.0 + 1e-9)
+
+    def test_rewrites_are_known_queries(self, simrank):
+        query = simrank.queries[0]
+        for result in simrank.rewrite(query, k=3):
+            assert result.text in simrank.queries
+            assert result.text != query
+
+    def test_unknown_query_gets_nothing(self, simrank):
+        assert simrank.rewrite("totally novel query") == []
+
+    def test_rewrites_share_category_mostly(self, simrank, tiny_market):
+        """SimRank++ similar queries should stay in the intent category."""
+        log = tiny_market.click_log
+        same = 0
+        total = 0
+        for query in simrank.queries[:20]:
+            intent = log.queries[query].intent
+            for result in simrank.rewrite(query, k=2):
+                total += 1
+                same += log.queries[result.text].intent.category == intent.category
+        if total == 0:
+            pytest.skip("no rewrites produced")
+        assert same / total > 0.8
+
+    def test_coverage_bounded_by_config(self, tiny_market):
+        simrank = SimRankPP(tiny_market.click_log, SimRankConfig(max_queries=10))
+        assert simrank.coverage() <= 10
+
+    def test_evidence_dampens_single_common_neighbor(self, tiny_market):
+        """evidence = 1 - 2^-c: a single shared product halves the score."""
+        simrank = SimRankPP(tiny_market.click_log, SimRankConfig(max_queries=50))
+        evidence = simrank._evidence()
+        adjacency = (simrank._weights > 0).astype(float)
+        common = adjacency @ adjacency.T
+        np.testing.assert_allclose(evidence, 1.0 - 2.0**-common, atol=1e-12)
+
+    def test_decay_reduces_similarity(self, tiny_market):
+        low = SimRankPP(tiny_market.click_log, SimRankConfig(decay=0.4, max_queries=60))
+        high = SimRankPP(tiny_market.click_log, SimRankConfig(decay=0.9, max_queries=60))
+        off_diag_low = low.similarity - np.diag(np.diag(low.similarity))
+        off_diag_high = high.similarity - np.diag(np.diag(high.similarity))
+        assert off_diag_low.sum() <= off_diag_high.sum() + 1e-9

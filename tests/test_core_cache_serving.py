@@ -1,0 +1,118 @@
+"""Rewrite cache and the two-tier serving pipeline."""
+
+import pytest
+
+from repro.core import RewriteCache, ServingConfig, ServingPipeline
+from repro.core.rewriter import RewriteResult
+
+
+class StubRewriter:
+    """Deterministic rewriter for serving tests."""
+
+    def __init__(self, mapping=None):
+        self.mapping = mapping or {}
+        self.calls = 0
+
+    def rewrite(self, query, k=3):
+        self.calls += 1
+        rewrites = self.mapping.get(query, [])
+        return [RewriteResult(tokens=tuple(r.split()), log_prob=-1.0) for r in rewrites[:k]]
+
+
+class TestRewriteCache:
+    def test_put_get_roundtrip(self):
+        cache = RewriteCache()
+        cache.put("Senior Phone", ["senior mobile phone"])
+        assert cache.get("senior  phone") == ["senior mobile phone"]  # normalized
+
+    def test_miss_returns_none_and_counts(self):
+        cache = RewriteCache()
+        assert cache.get("unknown") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_hit_rate(self):
+        cache = RewriteCache()
+        cache.put("a", ["b"])
+        cache.get("a")
+        cache.get("a")
+        cache.get("z")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_contains_and_len(self):
+        cache = RewriteCache()
+        cache.put("a", ["b"])
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_get_returns_copy(self):
+        cache = RewriteCache()
+        cache.put("a", ["b"])
+        result = cache.get("a")
+        result.append("mutation")
+        assert cache.get("a") == ["b"]
+
+    def test_populate(self):
+        cache = RewriteCache()
+        rewriter = StubRewriter({"q1": ["r1"], "q2": []})
+        filled = cache.populate(rewriter, ["q1", "q2"], k=3)
+        assert filled == 1
+        assert cache.get("q1") == ["r1"]
+        assert cache.get("q2") is None
+
+
+class TestServingPipeline:
+    def test_cache_tier_served_first(self):
+        cache = RewriteCache()
+        cache.put("head query", ["cached rewrite"])
+        fallback = StubRewriter({"head query": ["model rewrite"]})
+        pipeline = ServingPipeline(cache, fallback)
+        served = pipeline.serve("head query")
+        assert served.source == "cache"
+        assert served.rewrites == ["cached rewrite"]
+        assert fallback.calls == 0
+
+    def test_model_tier_on_miss(self):
+        fallback = StubRewriter({"tail query": ["model rewrite"]})
+        pipeline = ServingPipeline(RewriteCache(), fallback)
+        served = pipeline.serve("tail query")
+        assert served.source == "model"
+        assert served.rewrites == ["model rewrite"]
+
+    def test_unserved_when_nothing_available(self):
+        pipeline = ServingPipeline(RewriteCache(), StubRewriter())
+        served = pipeline.serve("nothing")
+        assert served.source == "none"
+        assert served.rewrites == []
+
+    def test_max_rewrites_enforced(self):
+        cache = RewriteCache()
+        cache.put("q", ["a", "b", "c", "d", "e"])
+        pipeline = ServingPipeline(cache, None, ServingConfig(max_rewrites=2))
+        assert len(pipeline.serve("q").rewrites) == 2
+
+    def test_stats_accumulate(self):
+        cache = RewriteCache()
+        cache.put("hit", ["r"])
+        pipeline = ServingPipeline(cache, StubRewriter({"model": ["m"]}))
+        pipeline.serve("hit")
+        pipeline.serve("model")
+        pipeline.serve("none")
+        stats = pipeline.stats
+        assert stats.cache_served == 1
+        assert stats.model_served == 1
+        assert stats.unserved == 1
+        assert stats.total == 3
+        assert len(stats.latencies_ms) == 3
+        assert stats.mean_latency_ms() >= 0.0
+        assert stats.p99_latency_ms() >= 0.0
+
+    def test_cache_only_pipeline(self):
+        cache = RewriteCache()
+        cache.put("q", ["r"])
+        pipeline = ServingPipeline(cache, None)
+        assert pipeline.serve("q").source == "cache"
+        assert pipeline.serve("other").source == "none"

@@ -1,0 +1,130 @@
+"""Catalog generation invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import (
+    AUDIENCE_ALIASES,
+    BRAND_ALIASES,
+    CATEGORY_SPECS,
+    CatalogConfig,
+    CatalogGenerator,
+    POLYSEMOUS_TERMS,
+    alias_to_canonical,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return CatalogGenerator(CatalogConfig(products_per_category=8, seed=3)).generate()
+
+
+class TestSpecs:
+    def test_every_category_has_brands_and_canonical(self):
+        for name, spec in CATEGORY_SPECS.items():
+            assert spec.brands, name
+            assert spec.canonical, name
+            assert spec.price_range[0] < spec.price_range[1], name
+
+    def test_polysemous_terms_span_categories(self):
+        for term, categories in POLYSEMOUS_TERMS.items():
+            assert len(categories) >= 2
+            for category in categories:
+                assert category in CATEGORY_SPECS
+                assert term in CATEGORY_SPECS[category].brands, (term, category)
+
+    def test_audience_aliases_never_in_titles_vocab(self):
+        """Colloquial audience words must not be canonical title tokens —
+        that is the vocabulary gap the paper's model bridges."""
+        title_tokens = set()
+        for spec in CATEGORY_SPECS.values():
+            title_tokens.update(spec.canonical + spec.features + spec.marketing + spec.spec_tokens)
+            title_tokens.update(spec.brands)
+            title_tokens.update(spec.audiences)
+        for aliases in AUDIENCE_ALIASES.values():
+            for alias in aliases:
+                assert alias not in title_tokens, alias
+
+    def test_brand_aliases_differ_from_brands(self):
+        for brand, aliases in BRAND_ALIASES.items():
+            for alias in aliases:
+                assert alias != brand
+
+    def test_alias_to_canonical_flattening(self):
+        mapping = alias_to_canonical()
+        assert mapping["grandpa"] == "senior"
+        assert mapping["ah-di"] == "adidas"
+        assert mapping["cellphone"] == "mobile phone"
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = CatalogGenerator(CatalogConfig(products_per_category=5, seed=1)).generate()
+        b = CatalogGenerator(CatalogConfig(products_per_category=5, seed=1)).generate()
+        assert [p.title for p in a.products] == [p.title for p in b.products]
+
+    def test_different_seed_differs(self):
+        a = CatalogGenerator(CatalogConfig(products_per_category=5, seed=1)).generate()
+        b = CatalogGenerator(CatalogConfig(products_per_category=5, seed=2)).generate()
+        assert [p.title for p in a.products] != [p.title for p in b.products]
+
+    def test_counts(self, catalog):
+        assert len(catalog) == 8 * len(CATEGORY_SPECS)
+        for name in CATEGORY_SPECS:
+            assert len(catalog.by_category[name]) == 8
+
+    def test_product_ids_are_indices(self, catalog):
+        for i, product in enumerate(catalog.products):
+            assert product.product_id == i
+            assert catalog.get(i) is product
+
+    def test_titles_contain_brand_and_canonical(self, catalog):
+        for product in catalog.products:
+            spec = CATEGORY_SPECS[product.category]
+            assert product.title_tokens[0] == product.brand
+            for token in spec.canonical:
+                assert token in product.title_tokens
+
+    def test_titles_contain_audience_when_set(self, catalog):
+        for product in catalog.products:
+            if product.audience is not None:
+                assert product.audience in product.title_tokens
+
+    def test_titles_are_verbose(self, catalog):
+        lengths = [len(p.title_tokens) for p in catalog.products]
+        assert np.mean(lengths) >= 6  # titles several times longer than queries
+
+    def test_prices_within_range(self, catalog):
+        for product in catalog.products:
+            low, high = CATEGORY_SPECS[product.category].price_range
+            assert low <= product.price <= high
+
+    def test_categories_listing_sorted(self, catalog):
+        assert catalog.categories() == sorted(CATEGORY_SPECS)
+
+
+class TestIntentMatching:
+    def test_category_mismatch_fatal(self, catalog):
+        from repro.data.domain import Intent
+
+        phone = catalog.by_category["phone"][0]
+        assert Intent(category="shoe").matches(phone) == 0.0
+
+    def test_brand_mismatch_discounts(self, catalog):
+        from repro.data.domain import Intent
+
+        product = catalog.by_category["shoe"][0]
+        matching = Intent(category="shoe", brand=product.brand).matches(product)
+        other_brand = next(
+            b for b in CATEGORY_SPECS["shoe"].brands if b != product.brand
+        )
+        mismatching = Intent(category="shoe", brand=other_brand).matches(product)
+        assert matching > mismatching > 0.0
+
+    def test_feature_match_rewards(self, catalog):
+        from repro.data.domain import Intent
+
+        product = next(p for p in catalog.products if p.features)
+        with_feature = Intent(category=product.category, features=(product.features[0],))
+        without = Intent(category=product.category, features=("definitely-absent",))
+        assert with_feature.matches(product) > without.matches(product)

@@ -1,0 +1,118 @@
+"""Padding, batching and corpus containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import BatchIterator, ParallelCorpus, pad_batch, train_eval_split
+from repro.text import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(["red", "men", "sock", "shoe", "big", "title", "words"])
+
+
+class TestPadBatch:
+    def test_pads_to_longest(self):
+        out = pad_batch([[1, 2], [3]], pad_id=0)
+        np.testing.assert_array_equal(out, [[1, 2], [3, 0]])
+
+    def test_max_len_truncates(self):
+        out = pad_batch([[1, 2, 3, 4]], pad_id=0, max_len=2)
+        np.testing.assert_array_equal(out, [[1, 2]])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            pad_batch([], pad_id=0)
+
+    def test_dtype_is_integer(self):
+        assert pad_batch([[1]], pad_id=0).dtype == np.int64
+
+
+class TestParallelCorpus:
+    def test_from_pairs_encoding_conventions(self, vocab):
+        pairs = [(("red", "sock"), ("red", "men", "sock"), 3)]
+        corpus = ParallelCorpus.from_pairs(pairs, vocab)
+        # source: tokens + EOS, no SOS
+        assert corpus.sources[0][-1] == vocab.eos_id
+        assert corpus.sources[0][0] != vocab.sos_id
+        # target: SOS + tokens + EOS
+        assert corpus.targets[0][0] == vocab.sos_id
+        assert corpus.targets[0][-1] == vocab.eos_id
+        assert corpus.weights == [3]
+
+    def test_swap_reverses_direction(self, vocab):
+        pairs = [(("red",), ("title", "words"), 1)]
+        fwd = ParallelCorpus.from_pairs(pairs, vocab, swap=False)
+        bwd = ParallelCorpus.from_pairs(pairs, vocab, swap=True)
+        assert len(fwd.sources[0]) == 2  # red + EOS
+        assert len(bwd.sources[0]) == 3  # title words + EOS
+
+    def test_length_mismatch_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            ParallelCorpus(sources=[[1]], targets=[], vocab=vocab)
+
+
+class TestBatchIterator:
+    def _corpus(self, vocab, n=10):
+        pairs = [(("red", "sock"), ("red", "men", "sock"), 1)] * n
+        return ParallelCorpus.from_pairs(pairs, vocab)
+
+    def test_batch_shapes_align(self, vocab):
+        iterator = BatchIterator(self._corpus(vocab), batch_size=4, shuffle=False)
+        for batch in iterator:
+            assert batch.target_in.shape == batch.target_out.shape
+            assert batch.source.shape[0] == batch.target_in.shape[0]
+
+    def test_teacher_forcing_shift(self, vocab):
+        iterator = BatchIterator(self._corpus(vocab), batch_size=2, shuffle=False)
+        batch = next(iter(iterator))
+        # target_in starts with SOS; target_out ends with EOS at same index-1
+        assert batch.target_in[0, 0] == vocab.sos_id
+        np.testing.assert_array_equal(batch.target_in[0, 1:], batch.target_out[0, :-1])
+
+    def test_covers_whole_corpus(self, vocab):
+        corpus = self._corpus(vocab, n=10)
+        iterator = BatchIterator(corpus, batch_size=3, shuffle=False)
+        assert len(iterator) == 4
+        total = sum(batch.source.shape[0] for batch in iterator)
+        assert total == 10
+
+    def test_shuffle_is_seeded(self, vocab):
+        corpus = ParallelCorpus.from_pairs(
+            [((t,), (t, t), 1) for t in ["red", "men", "sock", "shoe", "big"]], vocab
+        )
+        a = [b.source.tolist() for b in BatchIterator(corpus, 2, rng=np.random.default_rng(5))]
+        b = [b.source.tolist() for b in BatchIterator(corpus, 2, rng=np.random.default_rng(5))]
+        assert a == b
+
+    def test_sample_batch_size(self, vocab):
+        iterator = BatchIterator(self._corpus(vocab), batch_size=4)
+        assert iterator.sample_batch().source.shape[0] == 4
+
+    def test_invalid_batch_size(self, vocab):
+        with pytest.raises(ValueError):
+            BatchIterator(self._corpus(vocab), batch_size=0)
+
+
+class TestTrainEvalSplit:
+    def test_partition(self):
+        items = list(range(100))
+        train, evaluation = train_eval_split(items, 0.2, np.random.default_rng(0))
+        assert len(evaluation) == 20
+        assert sorted(train + evaluation) == items
+
+    def test_deterministic(self):
+        items = list(range(50))
+        a = train_eval_split(items, 0.1, np.random.default_rng(1))
+        b = train_eval_split(items, 0.1, np.random.default_rng(1))
+        assert a == b
+
+    def test_zero_fraction(self):
+        train, evaluation = train_eval_split([1, 2, 3], 0.0)
+        assert evaluation == []
+        assert train == [1, 2, 3]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_eval_split([1], 1.0)

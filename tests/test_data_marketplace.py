@@ -1,0 +1,76 @@
+"""Marketplace assembly: vocabulary coverage, corpora, determinism."""
+
+import numpy as np
+
+from repro.data import MarketplaceConfig, generate_marketplace
+from repro.data.catalog import (
+    AUDIENCE_ALIASES,
+    CATEGORY_SPECS,
+    CatalogConfig,
+    VAGUE_WORDS,
+)
+from repro.data.clicklog import ClickLogConfig
+
+
+class TestVocabularyCoverage:
+    def test_all_domain_tokens_in_vocab(self, tiny_market):
+        vocab = tiny_market.vocab
+        for aliases in AUDIENCE_ALIASES.values():
+            for alias in aliases:
+                assert alias in vocab, alias
+        for word in VAGUE_WORDS:
+            assert word in vocab, word
+        for spec in CATEGORY_SPECS.values():
+            for token in spec.canonical + spec.colloquial + spec.brands:
+                assert token in vocab, token
+
+    def test_no_unk_when_encoding_catalog_titles(self, tiny_market):
+        vocab = tiny_market.vocab
+        for product in tiny_market.catalog.products[:50]:
+            ids = vocab.encode(list(product.title_tokens), add_eos=False)
+            assert vocab.unk_id not in ids
+
+
+class TestCorpora:
+    def test_forward_backward_are_mirrors(self, tiny_market):
+        fwd = tiny_market.forward_corpus
+        bwd = tiny_market.backward_corpus
+        assert len(fwd) == len(bwd)
+        # forward source tokens == backward target tokens (modulo SOS)
+        assert fwd.sources[0] == bwd.targets[0][1:]
+
+    def test_split_sizes(self, tiny_market):
+        total = len(tiny_market.train_pairs) + len(tiny_market.eval_pairs)
+        assert total == len(tiny_market.click_log.pairs)
+        assert len(tiny_market.eval_pairs) > 0
+
+    def test_synonym_pairs_available(self, tiny_market):
+        assert len(tiny_market.synonym_pairs) > 10
+
+    def test_q2q_corpus_encodes(self, tiny_market):
+        corpus = tiny_market.q2q_corpus
+        assert len(corpus) == len(tiny_market.synonym_pairs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_marketplace(self):
+        config = MarketplaceConfig(
+            catalog=CatalogConfig(products_per_category=4),
+            clicks=ClickLogConfig(num_sessions=300, intent_pool_size=40),
+            seed=11,
+        )
+        a = generate_marketplace(config)
+        b = generate_marketplace(
+            MarketplaceConfig(
+                catalog=CatalogConfig(products_per_category=4),
+                clicks=ClickLogConfig(num_sessions=300, intent_pool_size=40),
+                seed=11,
+            )
+        )
+        assert a.click_log.pairs == b.click_log.pairs
+        assert a.vocab.tokens() == b.vocab.tokens()
+
+    def test_seed_propagates_to_subconfigs(self):
+        config = MarketplaceConfig(seed=5)
+        assert config.catalog.seed == 5
+        assert config.clicks.seed == 6

@@ -1,0 +1,110 @@
+"""Query generation: styles, aliases, polysemy."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import AUDIENCE_ALIASES, CATEGORY_SPECS, VAGUE_WORDS
+from repro.data.domain import Intent, QueryStyle
+from repro.data.queries import QueryGenerator
+
+
+@pytest.fixture()
+def generator():
+    return QueryGenerator()
+
+
+class TestIntentSampling:
+    def test_sampled_intents_are_valid(self, generator, rng):
+        for _ in range(50):
+            intent = generator.sample_intent(rng)
+            spec = CATEGORY_SPECS[intent.category]
+            if intent.brand is not None:
+                assert intent.brand in spec.brands
+            if intent.audience is not None:
+                assert intent.audience in spec.audiences
+            for feature in intent.features:
+                assert feature in spec.features
+
+    def test_style_distribution_respects_weights(self, rng):
+        generator = QueryGenerator({QueryStyle.STANDARD: 1.0, QueryStyle.COLLOQUIAL: 0.0,
+                                    QueryStyle.NATURAL: 0.0, QueryStyle.POLYSEMOUS: 0.0})
+        styles = {generator.sample_style(rng) for _ in range(20)}
+        assert styles == {QueryStyle.STANDARD}
+
+
+class TestStandardStyle:
+    def test_contains_canonical_category(self, generator, rng):
+        intent = Intent(category="phone", brand="huawei", audience="senior")
+        realization = generator.realize(intent, QueryStyle.STANDARD, rng)
+        assert "mobile" in realization.tokens and "phone" in realization.tokens
+        assert "huawei" in realization.tokens
+        assert "senior" in realization.tokens
+
+    def test_no_aliases_or_vague_words(self, generator, rng):
+        alias_tokens = {a for al in AUDIENCE_ALIASES.values() for a in al}
+        for _ in range(30):
+            intent = generator.sample_intent(rng)
+            tokens = set(generator.realize(intent, QueryStyle.STANDARD, rng).tokens)
+            assert not tokens & alias_tokens
+            assert not tokens & set(VAGUE_WORDS)
+
+
+class TestColloquialStyle:
+    def test_audience_rendered_as_alias_mostly(self, generator):
+        rng = np.random.default_rng(0)
+        intent = Intent(category="phone", audience="senior")
+        alias_hits = 0
+        for _ in range(40):
+            tokens = generator.realize(intent, QueryStyle.COLLOQUIAL, rng).tokens
+            if set(tokens) & set(AUDIENCE_ALIASES["senior"]):
+                alias_hits += 1
+        assert alias_hits > 20  # alias_prob=0.9
+
+    def test_carries_intent(self, generator, rng):
+        intent = Intent(category="shoe", brand="adidas")
+        realization = generator.realize(intent, QueryStyle.COLLOQUIAL, rng)
+        assert realization.intent is intent
+        assert realization.style is QueryStyle.COLLOQUIAL
+
+
+class TestNaturalStyle:
+    def test_has_filler_words(self, generator):
+        rng = np.random.default_rng(1)
+        intent = Intent(category="phone", audience="senior")
+        tokens = generator.realize(intent, QueryStyle.NATURAL, rng).tokens
+        assert tokens[0] in ("a", "the", "want", "buy")
+        assert "for" in tokens and "my" in tokens
+
+    def test_features_rendered_with_with(self, generator, rng):
+        intent = Intent(category="phone", features=("big-button",))
+        tokens = list(generator.realize(intent, QueryStyle.NATURAL, rng).tokens)
+        assert "with" in tokens
+        assert tokens[tokens.index("with") + 1] == "big-button"
+
+
+class TestPolysemousStyle:
+    def test_polysemous_intent_uses_ambiguous_term(self, generator, rng):
+        for _ in range(20):
+            intent = generator._polysemous_intent(rng)
+            assert intent.brand in ("apple", "cherry")
+
+    def test_rendered_query_is_short(self, generator, rng):
+        intent = Intent(category="fruit", brand="apple")
+        tokens = generator.realize(intent, QueryStyle.POLYSEMOUS, rng).tokens
+        assert tokens[0] == "apple"
+        assert len(tokens) <= 3
+
+    def test_sample_replaces_intent_for_polysemous(self):
+        generator = QueryGenerator({QueryStyle.POLYSEMOUS: 1.0, QueryStyle.STANDARD: 0.0,
+                                    QueryStyle.COLLOQUIAL: 0.0, QueryStyle.NATURAL: 0.0})
+        rng = np.random.default_rng(0)
+        realization = generator.sample(rng)
+        assert realization.intent.brand in ("apple", "cherry")
+
+
+class TestDeterminism:
+    def test_same_rng_state_same_query(self, generator):
+        a = generator.sample(np.random.default_rng(42))
+        b = generator.sample(np.random.default_rng(42))
+        assert a.tokens == b.tokens
+        assert a.style == b.style

@@ -1,0 +1,77 @@
+"""Synonym-pair extraction and the rule dictionary."""
+
+import numpy as np
+import pytest
+
+from repro.data.synonyms import (
+    build_rule_dictionary,
+    extract_synonym_pairs,
+    sample_queries_with_rules,
+)
+
+
+class TestSynonymExtraction:
+    def test_pairs_share_clicks(self, tiny_market):
+        log = tiny_market.click_log
+        pairs = extract_synonym_pairs(log, min_shared_clicks=2)
+        assert pairs
+        for a, b, shared in pairs[:50]:
+            assert shared >= 2
+            assert a != b
+
+    def test_both_directions_present(self, tiny_market):
+        pairs = extract_synonym_pairs(tiny_market.click_log, min_shared_clicks=2)
+        keyed = {(a, b) for a, b, _ in pairs}
+        for a, b, _ in pairs[:50]:
+            assert (b, a) in keyed
+
+    def test_max_pairs_cap(self, tiny_market):
+        pairs = extract_synonym_pairs(tiny_market.click_log, max_pairs=10)
+        assert len(pairs) <= 10
+
+    def test_threshold_monotonicity(self, tiny_market):
+        low = extract_synonym_pairs(tiny_market.click_log, min_shared_clicks=2)
+        high = extract_synonym_pairs(tiny_market.click_log, min_shared_clicks=5)
+        assert len(high) <= len(low)
+
+    def test_shared_click_queries_are_semantically_close(self, tiny_market):
+        """Queries sharing many clicks should usually share the intent
+        category — that is why they work as q2q training data."""
+        log = tiny_market.click_log
+        pairs = extract_synonym_pairs(log, min_shared_clicks=3)
+        same_category = 0
+        for a, b, _ in pairs[:100]:
+            intent_a = log.queries[" ".join(a)].intent
+            intent_b = log.queries[" ".join(b)].intent
+            same_category += intent_a.category == intent_b.category
+        assert same_category / max(1, min(100, len(pairs))) > 0.9
+
+
+class TestRuleDictionary:
+    def test_contains_alias_families(self):
+        rules = build_rule_dictionary()
+        assert rules["grandpa"] == "senior"
+        assert rules["ah-di"] == "adidas"
+        assert rules["cellphone"] == "mobile phone"
+
+    def test_polyseme_trap_present_by_default(self):
+        rules = build_rule_dictionary()
+        assert "cherry" in rules
+        assert "keyboard" in rules["cherry"]
+
+    def test_polyseme_trap_removable(self):
+        rules = build_rule_dictionary(include_polyseme_trap=False)
+        assert "cherry" not in rules
+
+    def test_sample_queries_all_have_rules(self, tiny_market):
+        rules = build_rule_dictionary()
+        rng = np.random.default_rng(0)
+        queries = sample_queries_with_rules(tiny_market.click_log, rules, 20, rng)
+        assert queries
+        for text in queries:
+            assert any(token in rules for token in text.split())
+
+    def test_sample_respects_limit(self, tiny_market):
+        rules = build_rule_dictionary()
+        rng = np.random.default_rng(0)
+        assert len(sample_queries_with_rules(tiny_market.click_log, rules, 5, rng)) <= 5

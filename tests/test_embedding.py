@@ -1,0 +1,77 @@
+"""Dual-encoder embedding model (DPSR substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import DualEncoder, DualEncoderConfig, train_dual_encoder
+
+
+@pytest.fixture(scope="module")
+def trained_encoder(tiny_market):
+    encoder = DualEncoder(tiny_market.vocab, DualEncoderConfig(seed=0))
+    losses = train_dual_encoder(
+        encoder, tiny_market.train_pairs, steps=120, rng=np.random.default_rng(0)
+    )
+    return encoder, losses
+
+
+class TestEncodings:
+    def test_unit_norm(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        vec = encoder.encode_query("senior mobile phone")
+        np.testing.assert_allclose(np.linalg.norm(vec), 1.0, atol=1e-9)
+        vec_title = encoder.encode_title("huawei official mobile phone senior")
+        np.testing.assert_allclose(np.linalg.norm(vec_title), 1.0, atol=1e-9)
+
+    def test_cosine_self_similarity_is_one(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        assert encoder.cosine("senior phone", "senior phone") == pytest.approx(1.0)
+
+    def test_cosine_symmetric(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        a = encoder.cosine("senior phone", "fresh fruit")
+        b = encoder.cosine("fresh fruit", "senior phone")
+        assert a == pytest.approx(b)
+
+    def test_padding_does_not_change_encoding(self, tiny_market):
+        """Mean pooling must ignore PAD positions."""
+        encoder = DualEncoder(tiny_market.vocab)
+        vocab = tiny_market.vocab
+        ids = np.array([vocab.encode(["mobile", "phone"], add_eos=False)])
+        padded = np.array([vocab.encode(["mobile", "phone"], add_eos=False) + [vocab.pad_id] * 3])
+        from repro.autograd import no_grad
+
+        with no_grad():
+            a = encoder.query_encoding(ids).data
+            b = encoder.query_encoding(padded).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained_encoder):
+        _, losses = trained_encoder
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_click_pairs_score_higher_than_random(self, trained_encoder, tiny_market):
+        encoder, _ = trained_encoder
+        rng = np.random.default_rng(0)
+        pairs = tiny_market.train_pairs
+        positive, negative = [], []
+        for _ in range(30):
+            i, j = rng.integers(0, len(pairs), size=2)
+            q_i, t_i, _ = pairs[i]
+            _, t_j, _ = pairs[j]
+            q_vec = encoder.encode_query(list(q_i))
+            positive.append(float(q_vec @ encoder.encode_title(list(t_i))))
+            negative.append(float(q_vec @ encoder.encode_title(list(t_j))))
+        assert np.mean(positive) > np.mean(negative)
+
+    def test_semantic_neighbors_closer_than_strangers(self, trained_encoder):
+        encoder, _ = trained_encoder
+        related = encoder.cosine("senior mobile phone", "cellphone for grandpa")
+        unrelated = encoder.cosine("senior mobile phone", "fresh imported fruit")
+        assert related > unrelated
+
+    def test_empty_pairs_rejected(self, tiny_market):
+        with pytest.raises(ValueError):
+            train_dual_encoder(DualEncoder(tiny_market.vocab), [])

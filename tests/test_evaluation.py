@@ -1,0 +1,205 @@
+"""Evaluation machinery: lexical metrics, simulated labeler, A/B simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.rewriter import RewriteResult
+from repro.data.domain import Intent
+from repro.evaluation import (
+    ABTestConfig,
+    ABTestSimulator,
+    LabelerConfig,
+    SimulatedLabeler,
+    UserModelConfig,
+    method_similarity_metrics,
+    pairwise_evaluation,
+    rewrite_similarity,
+)
+
+
+class FixedRewriter:
+    def __init__(self, mapping):
+        self.mapping = mapping
+
+    def rewrite(self, query, k=3):
+        return [
+            RewriteResult(tokens=tuple(r.split()), log_prob=-1.0)
+            for r in self.mapping.get(query, [])[:k]
+        ]
+
+
+class TestLexicalMetrics:
+    def test_identical_rewrite(self):
+        metrics = rewrite_similarity("red sock", "red sock")
+        assert metrics["f1"] == pytest.approx(1.0)
+        assert metrics["edit_distance"] == 0.0
+
+    def test_single_substitution(self):
+        metrics = rewrite_similarity("red men sock", "red men anklet")
+        assert 0.0 < metrics["f1"] < 1.0
+        assert metrics["edit_distance"] == 1.0
+
+    def test_cosine_included_with_encoder(self, tiny_market):
+        from repro.embedding import DualEncoder
+
+        encoder = DualEncoder(tiny_market.vocab)
+        metrics = rewrite_similarity("mobile phone", "senior phone", encoder=encoder)
+        assert "cosine" in metrics
+
+    def test_method_metrics_aggregate(self):
+        rewriter = FixedRewriter({"a b": ["a c"], "x y": ["x z", "x w"]})
+        row = method_similarity_metrics(rewriter, ["a b", "x y", "uncovered"])
+        assert row["coverage"] == pytest.approx(2 / 3)
+        assert 0 < row["f1"] < 1
+
+    def test_method_metrics_no_rewrites_raises(self):
+        with pytest.raises(ValueError):
+            method_similarity_metrics(FixedRewriter({}), ["a"])
+
+
+class TestSimulatedLabeler:
+    @pytest.fixture(scope="class")
+    def labeler(self, tiny_market):
+        return SimulatedLabeler(tiny_market.catalog, LabelerConfig(noise=0.0, seed=0))
+
+    def test_on_intent_rewrite_scores_high(self, labeler, tiny_market):
+        product = tiny_market.catalog.by_category["phone"][0]
+        intent = Intent(category="phone", brand=product.brand)
+        good = labeler.relevance(intent, f"{product.brand} mobile phone")
+        bad = labeler.relevance(intent, "fresh imported fruit")
+        assert good > bad
+
+    def test_empty_rewrite_scores_zero(self, labeler):
+        assert labeler.relevance(Intent(category="phone"), "") == 0.0
+
+    def test_gibberish_rewrite_scores_zero(self, labeler):
+        assert labeler.relevance(Intent(category="phone"), "zzz qqq www") == 0.0
+
+    def test_best_relevance_takes_max(self, labeler):
+        intent = Intent(category="phone")
+        both = labeler.best_relevance(intent, ["mobile phone", "fresh fruit"])
+        single = labeler.relevance(intent, "mobile phone")
+        assert both == pytest.approx(single)
+
+    def test_compare_win_lose_tie(self, labeler):
+        intent = Intent(category="phone")
+        assert labeler.compare(intent, ["mobile phone"], ["fresh fruit"]) == "win"
+        assert labeler.compare(intent, ["fresh fruit"], ["mobile phone"]) == "lose"
+        assert labeler.compare(intent, ["mobile phone"], ["mobile phone"]) == "tie"
+
+    def test_noise_flips_labels(self, tiny_market):
+        noisy = SimulatedLabeler(tiny_market.catalog, LabelerConfig(noise=1.0, seed=0))
+        intent = Intent(category="phone")
+        labels = {noisy.compare(intent, ["mobile phone"], ["fresh fruit"]) for _ in range(30)}
+        assert len(labels) >= 2  # pure noise produces varied labels
+
+    def test_pairwise_evaluation_fractions_sum_to_one(self, labeler, tiny_market):
+        evaluation = [(r.text, r.intent) for r in list(tiny_market.click_log.queries.values())[:10]]
+        a = FixedRewriter({q: ["mobile phone"] for q, _ in evaluation})
+        b = FixedRewriter({q: ["fresh fruit"] for q, _ in evaluation})
+        row = pairwise_evaluation(labeler, evaluation, a, b)
+        assert row["win"] + row["tie"] + row["lose"] == pytest.approx(1.0)
+
+    def test_pairwise_empty_raises(self, labeler):
+        with pytest.raises(ValueError):
+            pairwise_evaluation(labeler, [], None, None)
+
+
+class TestABTest:
+    @pytest.fixture(scope="class")
+    def pool(self, tiny_market):
+        return [(r.text, r.intent) for r in list(tiny_market.click_log.queries.values())[:30]]
+
+    def test_identical_arms_have_zero_delta(self, tiny_market, pool):
+        """Common random numbers: same rewriters => exactly equal arms."""
+        rewriter = FixedRewriter({})
+        sim = ABTestSimulator(
+            tiny_market.catalog, pool, rewriter, rewriter,
+            ABTestConfig(days=1, sessions_per_day=40, seed=0),
+        )
+        report = sim.run()
+        assert report.ucvr_delta == 0.0
+        assert report.gmv_delta == 0.0
+        assert report.qrr_delta == 0.0
+
+    def test_helpful_rewrites_improve_conversion(self, tiny_market, pool):
+        """A variation that rewrites every query to its standard category
+        form should lift UCVR/GMV for colloquial traffic."""
+        from repro.data.catalog import CATEGORY_SPECS
+
+        def oracle_rewrites():
+            mapping = {}
+            for text, intent in pool:
+                canonical = list(CATEGORY_SPECS[intent.category].canonical)
+                parts = ([intent.brand] if intent.brand else []) + (
+                    [intent.audience] if intent.audience else []
+                ) + canonical
+                mapping[text] = [" ".join(parts)]
+            return mapping
+
+        sim = ABTestSimulator(
+            tiny_market.catalog, pool,
+            control_rewriter=None,
+            variation_rewriter=FixedRewriter(oracle_rewrites()),
+            config=ABTestConfig(days=2, sessions_per_day=80, seed=1),
+        )
+        report = sim.run()
+        assert report.variation.ucvr >= report.control.ucvr
+        assert report.variation.gmv >= report.control.gmv
+        assert report.variation.qrr <= report.control.qrr
+
+    def test_report_row_keys(self, tiny_market, pool):
+        rewriter = FixedRewriter({})
+        sim = ABTestSimulator(
+            tiny_market.catalog, pool, rewriter, rewriter,
+            ABTestConfig(days=1, sessions_per_day=5, seed=0),
+        )
+        row = sim.run().as_row()
+        assert set(row) == {"UCVR", "GMV", "QRR"}
+
+    def test_empty_pool_rejected(self, tiny_market):
+        with pytest.raises(ValueError):
+            ABTestSimulator(tiny_market.catalog, [], None, None)
+
+    def test_unknown_ranker_rejected(self, tiny_market, pool):
+        with pytest.raises(ValueError):
+            ABTestSimulator(tiny_market.catalog, pool, None, None, ranker="mystery")
+
+    def test_session_counts(self, tiny_market, pool):
+        rewriter = FixedRewriter({})
+        sim = ABTestSimulator(
+            tiny_market.catalog, pool, rewriter, rewriter,
+            ABTestConfig(days=3, sessions_per_day=7, seed=0),
+        )
+        report = sim.run()
+        assert report.control.sessions == 21
+        assert report.variation.sessions == 21
+
+
+class TestUserModel:
+    def test_relevant_results_convert_more(self, tiny_market):
+        from repro.evaluation.abtest import UserModel
+
+        user = UserModel(tiny_market.catalog, UserModelConfig())
+        product = tiny_market.catalog.by_category["phone"][0]
+        intent = Intent(category="phone", brand=product.brand)
+        relevant_docs = [product.product_id] * 5
+        irrelevant_docs = [tiny_market.catalog.by_category["fruit"][0].product_id] * 5
+
+        conversions_good = sum(
+            user.browse(intent, relevant_docs, np.random.default_rng(s))[0]
+            for s in range(60)
+        )
+        conversions_bad = sum(
+            user.browse(intent, irrelevant_docs, np.random.default_rng(s))[0]
+            for s in range(60)
+        )
+        assert conversions_good > conversions_bad
+
+    def test_empty_results_often_reformulate(self, tiny_market):
+        from repro.evaluation.abtest import UserModel
+
+        user = UserModel(tiny_market.catalog, UserModelConfig(reformulate_prob=1.0))
+        intent = Intent(category="phone")
+        _, _, reformulated = user.browse(intent, [], np.random.default_rng(0))
+        assert reformulated

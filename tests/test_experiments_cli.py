@@ -1,0 +1,32 @@
+"""The `python -m repro.experiments` command-line runner (cheap paths only)."""
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, SCALES, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table7", "fig7", "lm_exploration"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {
+            "table1", "table2", "table3_table4", "table5", "table6",
+            "table7", "table8", "fig5", "fig6", "fig7", "fig8", "fig9",
+        }
+        assert expected <= set(RUNNERS)
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"small", "default"}
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Model hyperparameters" in out

@@ -1,0 +1,78 @@
+"""Experiment infrastructure: scales, rendering, results (no heavy runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import DEFAULT, SMALL, ExperimentResult, ascii_table, render_heatmap, render_series
+from repro.experiments import table2
+from repro.experiments.table5 import PAPER_TABLE_5
+
+
+class TestScales:
+    def test_presets_distinct(self):
+        assert SMALL.name != DEFAULT.name
+        assert DEFAULT.num_sessions > SMALL.num_sessions
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SMALL.num_sessions = 1
+
+
+class TestRendering:
+    def test_ascii_table_alignment(self):
+        out = ascii_table(["a", "metric"], [["x", 1.5], ["longer", 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) <= len(lines[1]) for line in lines)
+        assert "1.5000" in out
+
+    def test_ascii_table_custom_format(self):
+        out = ascii_table(["v"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in out
+
+    def test_render_series_endpoints(self):
+        out = render_series("loss", [1, 2, 3], [3.0, 2.0, 1.0])
+        assert "first=3" in out and "last=1" in out
+
+    def test_render_series_empty(self):
+        assert "(no data)" in render_series("x", [], [])
+
+    def test_render_series_constant(self):
+        out = render_series("flat", [1, 2], [1.0, 1.0])
+        assert "first=1" in out
+
+    def test_render_series_downsamples(self):
+        out = render_series("long", list(range(500)), list(np.linspace(0, 1, 500)), width=20)
+        assert len(out) < 120
+
+    def test_render_heatmap_shape_check(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 2)), ["a"], ["b", "c"])
+
+    def test_render_heatmap_output(self):
+        out = render_heatmap(np.array([[0.0, 1.0], [0.5, 0.5]]), ["q1", "q2"], ["t1", "t2"])
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "t1" in lines[1] or "t1" in lines[0] + lines[1]
+
+
+class TestExperimentResult:
+    def test_render_includes_id_and_notes(self):
+        result = ExperimentResult(
+            experiment_id="tableX", title="demo", measured={}, rendered="body", notes="hi"
+        )
+        out = result.render()
+        assert "tableX" in out
+        assert "body" in out
+        assert "note: hi" in out
+
+
+class TestCheapExperiments:
+    def test_table2_runs_without_context(self):
+        result = table2.run(SMALL)
+        assert result.paper["query_to_title"]["transformer_layers"] == 4
+        assert "hyperparameter" in result.rendered
+
+    def test_table5_reference_values(self):
+        assert PAPER_TABLE_5["decoder"]["transformer"] == 67.5
+        assert PAPER_TABLE_5["encoder"]["transformer"] == 3.5

@@ -1,0 +1,125 @@
+"""Multi-head attention, masks, and transformer blocks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import MultiHeadAttention, TransformerDecoder, TransformerEncoder
+from repro.nn.attention import causal_mask, padding_mask
+
+
+def _rand(*shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape))
+
+
+class TestMasks:
+    def test_padding_mask_shape_and_values(self):
+        ids = np.array([[5, 6, 0], [7, 0, 0]])
+        mask = padding_mask(ids, pad_id=0)
+        assert mask.shape == (2, 1, 1, 3)
+        np.testing.assert_array_equal(mask[0, 0, 0], [False, False, True])
+        np.testing.assert_array_equal(mask[1, 0, 0], [False, True, True])
+
+    def test_causal_mask_blocks_future_only(self):
+        mask = causal_mask(4)
+        assert mask.shape == (1, 1, 4, 4)
+        for i in range(4):
+            for j in range(4):
+                assert mask[0, 0, i, j] == (j > i)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        mha = MultiHeadAttention(16, 4, rng=np.random.default_rng(0))
+        x = _rand(2, 5, 16)
+        assert mha(x, x, x).shape == (2, 5, 16)
+
+    def test_d_model_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_attention_weights_rows_sum_to_one(self):
+        mha = MultiHeadAttention(16, 4, rng=np.random.default_rng(0))
+        x = _rand(2, 5, 16)
+        mha(x, x, x)
+        assert mha.last_weights.shape == (2, 4, 5, 5)
+        np.testing.assert_allclose(
+            mha.last_weights.sum(axis=-1), np.ones((2, 4, 5)), atol=1e-9
+        )
+
+    def test_masked_positions_get_zero_weight(self):
+        mha = MultiHeadAttention(16, 2, rng=np.random.default_rng(0))
+        ids = np.array([[5, 6, 0, 0]])
+        x = _rand(1, 4, 16)
+        mha(x, x, x, mask=padding_mask(ids, 0))
+        np.testing.assert_allclose(mha.last_weights[..., 2:], 0.0, atol=1e-9)
+
+    def test_causal_masking_is_lower_triangular(self):
+        mha = MultiHeadAttention(16, 2, rng=np.random.default_rng(0))
+        x = _rand(1, 4, 16)
+        mha(x, x, x, mask=causal_mask(4))
+        weights = mha.last_weights[0, 0]
+        assert np.allclose(np.triu(weights, k=1), 0.0, atol=1e-9)
+
+    def test_cross_attention_different_lengths(self):
+        mha = MultiHeadAttention(16, 4, rng=np.random.default_rng(0))
+        q = _rand(2, 3, 16, seed=1)
+        kv = _rand(2, 7, 16, seed=2)
+        out = mha(q, kv, kv)
+        assert out.shape == (2, 3, 16)
+        assert mha.last_weights.shape == (2, 4, 3, 7)
+
+    def test_gradients_reach_all_projections(self):
+        mha = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = _rand(1, 3, 8)
+        mha(x, x, x).sum().backward()
+        for name, p in mha.named_parameters():
+            assert p.grad is not None, name
+
+
+class TestTransformerStacks:
+    def test_encoder_shape(self):
+        enc = TransformerEncoder(2, 16, 4, 32, rng=np.random.default_rng(0))
+        out = enc(_rand(2, 5, 16))
+        assert out.shape == (2, 5, 16)
+
+    def test_decoder_shape(self):
+        dec = TransformerDecoder(2, 16, 4, 32, rng=np.random.default_rng(0))
+        out = dec(_rand(2, 4, 16), _rand(2, 6, 16, seed=1))
+        assert out.shape == (2, 4, 16)
+
+    def test_decoder_causality(self):
+        """Changing a future target token must not change earlier outputs."""
+        dec = TransformerDecoder(1, 16, 4, 32, rng=np.random.default_rng(0))
+        dec.eval()
+        memory = _rand(1, 5, 16, seed=1)
+        x = np.random.default_rng(2).normal(size=(1, 4, 16))
+        mask = causal_mask(4)
+        out_a = dec(Tensor(x), memory, self_mask=mask).data.copy()
+        x2 = x.copy()
+        # Perturb only the last position, non-uniformly (a uniform shift
+        # would be cancelled by LayerNorm).
+        x2[0, 3, 0] += 10.0
+        out_b = dec(Tensor(x2), memory, self_mask=mask).data
+        np.testing.assert_allclose(out_a[0, :3], out_b[0, :3], atol=1e-9)
+        assert not np.allclose(out_a[0, 3], out_b[0, 3])
+
+    def test_encoder_pad_invariance(self):
+        """Appending PAD keys (masked) must not change non-pad outputs."""
+        enc = TransformerEncoder(1, 16, 4, 32, rng=np.random.default_rng(0))
+        enc.eval()
+        x = np.random.default_rng(3).normal(size=(1, 3, 16))
+        ids = np.array([[5, 6, 7]])
+        out_short = enc(Tensor(x), mask=padding_mask(ids, 0)).data
+
+        x_padded = np.concatenate([x, np.zeros((1, 2, 16))], axis=1)
+        ids_padded = np.array([[5, 6, 7, 0, 0]])
+        out_padded = enc(Tensor(x_padded), mask=padding_mask(ids_padded, 0)).data
+        np.testing.assert_allclose(out_short[0], out_padded[0, :3], atol=1e-9)
+
+    def test_decoder_exposes_cross_attention(self):
+        dec = TransformerDecoder(2, 16, 4, 32, rng=np.random.default_rng(0))
+        dec(_rand(1, 3, 16), _rand(1, 5, 16, seed=1))
+        maps = dec.cross_attention_weights
+        assert len(maps) == 2
+        assert maps[0].shape == (1, 4, 3, 5)

@@ -1,0 +1,90 @@
+"""Cross-entropy losses: correctness, padding, label smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import cross_entropy, sequence_cross_entropy
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([0, 2, 4, 1])
+        loss = cross_entropy(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        np.testing.assert_allclose(float(loss.data), expected, atol=1e-12)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert float(loss.data) < 1e-6
+
+    def test_label_smoothing_increases_confident_loss(self):
+        logits = np.full((1, 4), -10.0)
+        logits[0, 0] = 10.0
+        plain = cross_entropy(Tensor(logits), np.array([0]))
+        smoothed = cross_entropy(Tensor(logits), np.array([0]), label_smoothing=0.1)
+        assert float(smoothed.data) > float(plain.data)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        rng = np.random.default_rng(0)
+        logits_data = rng.normal(size=(3, 4))
+        logits = Tensor(logits_data, requires_grad=True)
+        targets = np.array([1, 0, 3])
+        cross_entropy(logits, targets).backward()
+        shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        onehot = np.zeros((3, 4))
+        onehot[np.arange(3), targets] = 1.0
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 3.0, atol=1e-10)
+
+
+class TestSequenceCrossEntropy:
+    def test_pad_positions_excluded(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(2, 3, 5)))
+        targets = np.array([[1, 2, 0], [3, 0, 0]])  # pad_id = 0
+        loss, count = sequence_cross_entropy(logits, targets, pad_id=0)
+        assert count == 3
+
+    def test_matches_unpadded_equivalent(self):
+        rng = np.random.default_rng(0)
+        logits_data = rng.normal(size=(1, 4, 5))
+        full_targets = np.array([[1, 2, 3, 4]])
+        loss_full, _ = sequence_cross_entropy(Tensor(logits_data), full_targets, pad_id=0)
+
+        padded_logits = np.concatenate([logits_data, rng.normal(size=(1, 2, 5))], axis=1)
+        padded_targets = np.array([[1, 2, 3, 4, 0, 0]])
+        loss_padded, count = sequence_cross_entropy(
+            Tensor(padded_logits), padded_targets, pad_id=0
+        )
+        assert count == 4
+        np.testing.assert_allclose(float(loss_full.data), float(loss_padded.data), atol=1e-12)
+
+    def test_all_pad_raises(self):
+        logits = Tensor(np.zeros((1, 2, 4)))
+        with pytest.raises(ValueError):
+            sequence_cross_entropy(logits, np.zeros((1, 2), dtype=int), pad_id=0)
+
+    def test_perplexity_relationship(self):
+        """exp(loss) of a uniform predictor equals the vocab size."""
+        vocab = 7
+        logits = Tensor(np.zeros((2, 3, vocab)))
+        targets = np.ones((2, 3), dtype=int)
+        loss, _ = sequence_cross_entropy(logits, targets, pad_id=0)
+        np.testing.assert_allclose(np.exp(float(loss.data)), vocab, rtol=1e-9)
+
+    def test_gradients_skip_pad(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        targets = np.array([[2, 0, 0]])
+        loss, _ = sequence_cross_entropy(logits, targets, pad_id=0)
+        loss.backward()
+        np.testing.assert_allclose(logits.grad[0, 1:], 0.0, atol=1e-12)
+        assert not np.allclose(logits.grad[0, 0], 0.0)

@@ -1,0 +1,210 @@
+"""Core nn modules: Linear, Embedding, LayerNorm, Dropout, Module plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dropout, Embedding, LayerNorm, Linear, Module, ModuleList, Parameter
+from repro.nn.positional import PositionalEncoding, sinusoidal_table
+
+
+class TestModulePlumbing:
+    def test_named_parameters_discovers_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.b = Parameter(np.zeros(3))
+
+        names = dict(Outer().named_parameters())
+        assert set(names) == {"inner.w", "b"}
+
+    def test_modulelist_registers(self):
+        items = ModuleList(Linear(2, 2, rng=np.random.default_rng(i)) for i in range(3))
+        assert len(items) == 3
+        assert len(list(items)) == 3
+        # 3 weights + 3 biases
+        assert len(ModuleListHolder(items).parameters()) == 6
+
+    def test_train_eval_propagates(self):
+        holder = ModuleListHolder(ModuleList([Dropout(0.5)]))
+        holder.eval()
+        assert all(not m.training for m in holder.modules())
+        holder.train()
+        assert all(m.training for m in holder.modules())
+
+    def test_state_dict_roundtrip(self):
+        layer_a = Linear(3, 2, rng=np.random.default_rng(0))
+        layer_b = Linear(3, 2, rng=np.random.default_rng(1))
+        assert not np.allclose(layer_a.weight.data, layer_b.weight.data)
+        layer_b.load_state_dict(layer_a.state_dict())
+        np.testing.assert_allclose(layer_a.weight.data, layer_b.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nope": np.zeros(2)})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        state = layer.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_num_parameters(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class ModuleListHolder(Module):
+    def __init__(self, items):
+        super().__init__()
+        self.items = items
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 7, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.zeros((2, 3, 4))))
+        assert out.shape == (2, 3, 7)
+
+    def test_matches_manual_affine(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_padding_row_is_zero(self):
+        emb = Embedding(10, 4, padding_idx=0, rng=np.random.default_rng(0))
+        out = emb(np.array([[0, 1]]))
+        np.testing.assert_allclose(out.data[0, 0], np.zeros(4))
+        assert not np.allclose(out.data[0, 1], 0.0)
+
+    def test_padding_receives_no_gradient(self):
+        emb = Embedding(10, 4, padding_idx=0, rng=np.random.default_rng(0))
+        emb(np.array([[0, 1, 1]])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(4))
+        # Token 1 used twice: gradient 2 per dim.
+        np.testing.assert_allclose(emb.weight.grad[1], np.full(4, 2.0))
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        with pytest.raises(IndexError):
+            emb(np.array([[10]]))
+        with pytest.raises(IndexError):
+            emb(np.array([[-1]]))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = LayerNorm(8)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(4, 8))
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gamma_beta_applied(self):
+        ln = LayerNorm(4)
+        ln.gamma.data = np.full(4, 2.0)
+        ln.beta.data = np.full(4, 1.0)
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.ones(2), atol=1e-6)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(4)
+        ln(Tensor(np.random.default_rng(0).normal(size=(2, 4)), requires_grad=True)).sum().backward()
+        assert ln.gamma.grad is not None
+        assert ln.beta.grad is not None
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.eval()
+        x = np.random.default_rng(1).normal(size=(10, 10))
+        np.testing.assert_allclose(drop(Tensor(x)).data, x)
+
+    def test_training_zeroes_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = drop(Tensor(x)).data
+        zero_fraction = float((out == 0).mean())
+        assert 0.4 < zero_fraction < 0.6
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 2.0)  # 1/(1-0.5)
+
+    def test_p_zero_identity_even_training(self):
+        drop = Dropout(0.0)
+        x = np.ones((3, 3))
+        np.testing.assert_allclose(drop(Tensor(x)).data, x)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestPositionalEncoding:
+    def test_table_shape_and_range(self):
+        table = sinusoidal_table(16, 8)
+        assert table.shape == (16, 8)
+        assert np.all(np.abs(table) <= 1.0)
+
+    def test_odd_dimension_supported(self):
+        table = sinusoidal_table(4, 7)
+        assert table.shape == (4, 7)
+
+    def test_first_position_is_sin0_cos0(self):
+        table = sinusoidal_table(4, 6)
+        np.testing.assert_allclose(table[0, 0::2], np.zeros(3))  # sin(0)
+        np.testing.assert_allclose(table[0, 1::2], np.ones(3))  # cos(0)
+
+    def test_forward_adds_position(self):
+        pe = PositionalEncoding(8, max_len=16)
+        x = np.zeros((1, 4, 8))
+        out = pe(Tensor(x)).data
+        np.testing.assert_allclose(out[0], pe.table[:4])
+
+    def test_offset(self):
+        pe = PositionalEncoding(8, max_len=16)
+        out = pe(Tensor(np.zeros((1, 2, 8))), offset=3).data
+        np.testing.assert_allclose(out[0], pe.table[3:5])
+
+    def test_too_long_raises(self):
+        pe = PositionalEncoding(8, max_len=4)
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 5, 8))))

@@ -1,0 +1,116 @@
+"""Optimizers, schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import Adam, ConstantSchedule, NoamSchedule, SGD, clip_grad_norm
+
+
+def _quadratic_params(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def _minimize(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        param.grad = 2.0 * param.data  # d/dx x^2
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_params()
+        assert abs(_minimize(SGD([p], lr=0.1), p)) < 1e-6
+
+    def test_momentum_converges(self):
+        p = _quadratic_params()
+        assert abs(_minimize(SGD([p], lr=0.05, momentum=0.9), p)) < 1e-4
+
+    def test_skips_missing_grad(self):
+        p = _quadratic_params()
+        SGD([p], lr=0.1).step()  # no grad set
+        np.testing.assert_allclose(p.data, [5.0])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_params()
+        assert abs(_minimize(Adam([p], lr=0.1), p)) < 1e-3
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, |Δ| of the first step ≈ lr regardless of
+        gradient magnitude."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale])
+            opt.step()
+            np.testing.assert_allclose(abs(p.data[0]), 0.01, rtol=1e-4)
+
+    def test_handles_multiple_params(self):
+        a, b = Parameter(np.array([3.0])), Parameter(np.array([-2.0]))
+        opt = Adam([a, b], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            a.grad = 2 * a.data
+            b.grad = 2 * b.data
+            opt.step()
+        assert abs(float(a.data[0])) < 1e-2
+        assert abs(float(b.data[0])) < 1e-2
+
+
+class TestClipGradNorm:
+    def test_clips_when_above(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 3.0)  # norm 6
+        norm = clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(norm, 6.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-9)
+
+    def test_noop_when_below(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        before = p.grad.copy()
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, before)
+
+    def test_ignores_missing_grads(self):
+        p = Parameter(np.zeros(4))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantSchedule(0.5)
+        assert sched.rate(1) == sched.rate(1000) == 0.5
+
+    def test_noam_warmup_rises_then_decays(self):
+        sched = NoamSchedule(d_model=64, warmup_steps=100)
+        rates = [sched.rate(s) for s in (1, 50, 100, 200, 1000)]
+        assert rates[0] < rates[1] < rates[2]  # rising during warmup
+        assert rates[2] > rates[3] > rates[4]  # decaying after
+
+    def test_noam_peak_at_warmup(self):
+        sched = NoamSchedule(d_model=64, warmup_steps=100)
+        peak = sched.rate(100)
+        assert peak >= sched.rate(99)
+        assert peak >= sched.rate(101)
+
+    def test_noam_step_zero_safe(self):
+        sched = NoamSchedule(d_model=64, warmup_steps=100)
+        assert np.isfinite(sched.rate(0))
+
+    def test_noam_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            NoamSchedule(d_model=64, warmup_steps=0)
+
+    def test_noam_factor_scales(self):
+        base = NoamSchedule(d_model=64, warmup_steps=100, factor=1.0)
+        doubled = NoamSchedule(d_model=64, warmup_steps=100, factor=2.0)
+        assert doubled.rate(50) == pytest.approx(2 * base.rate(50))

@@ -1,0 +1,64 @@
+"""Public API surface: every package imports and every __all__ resolves."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.autograd",
+    "repro.nn",
+    "repro.optim",
+    "repro.text",
+    "repro.data",
+    "repro.models",
+    "repro.decoding",
+    "repro.training",
+    "repro.core",
+    "repro.baselines",
+    "repro.search",
+    "repro.embedding",
+    "repro.evaluation",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_every_module_importable():
+    """Walk the whole package tree — no module may fail at import time."""
+    failures = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        try:
+            importlib.import_module(info.name)
+        except Exception as error:  # pragma: no cover - report which module
+            failures.append((info.name, repr(error)))
+    assert not failures, failures
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_readme_quickstart_symbols_exist():
+    """The README's quickstart snippet must reference real names."""
+    from repro.core import CyclicRewriter, RewriterConfig  # noqa: F401
+    from repro.data import MarketplaceConfig, generate_marketplace  # noqa: F401
+    from repro.models import ModelConfig, TransformerNMT  # noqa: F401
+    from repro.training import CyclicConfig, CyclicTrainer  # noqa: F401

@@ -1,0 +1,205 @@
+"""Inverted index, syntax trees, the merge optimization, and the engine."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.search import (
+    AndNode,
+    InvertedIndex,
+    OrNode,
+    SearchConfig,
+    SearchEngine,
+    TermNode,
+    build_tree,
+    merge_queries,
+    tree_size,
+)
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    docs = {
+        0: ["red", "men", "sock"],
+        1: ["red", "men", "breathable", "low-cut-sock"],
+        2: ["red", "men", "anklet"],
+        3: ["blue", "women", "sock"],
+        4: ["red", "women", "sock"],
+    }
+    for doc_id, tokens in docs.items():
+        idx.add_document(doc_id, tokens)
+    return idx
+
+
+class TestInvertedIndex:
+    def test_lookup(self, index):
+        result = index.lookup("red")
+        assert result.doc_ids == {0, 1, 2, 4}
+        assert result.postings_accessed == 4
+
+    def test_lookup_unknown_token(self, index):
+        result = index.lookup("zzz")
+        assert result.doc_ids == set()
+        assert result.postings_accessed == 0
+
+    def test_intersect(self, index):
+        result = index.intersect(["red", "men"])
+        assert result.doc_ids == {0, 1, 2}
+
+    def test_intersect_empty_token_list_matches_all(self, index):
+        assert index.intersect([]).doc_ids == {0, 1, 2, 3, 4}
+
+    def test_intersect_orders_cheapest_first(self, index):
+        """Selective-first evaluation: 'anklet' (1 posting) before 'red' (4)."""
+        result = index.intersect(["red", "anklet"])
+        assert result.doc_ids == {2}
+        assert result.postings_accessed == 1 + 4
+
+    def test_duplicate_doc_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add_document(0, ["again"])
+
+    def test_document_roundtrip(self, index):
+        assert index.document(0) == ("red", "men", "sock")
+
+    def test_duplicate_tokens_single_posting(self):
+        idx = InvertedIndex()
+        idx.add_document(0, ["red", "red", "red"])
+        assert idx.postings("red") == [0]
+
+
+class TestSyntaxTree:
+    def test_build_tree_single_term(self):
+        tree = build_tree(["sock"])
+        assert isinstance(tree, TermNode)
+        assert tree_size(tree) == 1
+
+    def test_build_tree_and_of_terms(self):
+        tree = build_tree(["red", "men", "sock"])
+        assert isinstance(tree, AndNode)
+        assert tree_size(tree) == 4
+
+    def test_build_tree_dedupes_terms(self):
+        tree = build_tree(["red", "red"])
+        assert isinstance(tree, TermNode)
+
+    def test_build_tree_empty_raises(self):
+        with pytest.raises(ValueError):
+            build_tree([])
+
+    def test_evaluate_and(self, index):
+        result = build_tree(["red", "men"]).evaluate(index)
+        assert result.doc_ids == {0, 1, 2}
+
+    def test_evaluate_or(self, index):
+        tree = OrNode(children=(TermNode("anklet"), TermNode("blue")))
+        assert tree.evaluate(index).doc_ids == {2, 3}
+
+    def test_paper_figure5_example(self, index):
+        """origin: red&men&sock; g1: red&men&breathable&low-cut-sock;
+        g2: red&men&anklet -> red & men & (sock | (breathable & low-cut-sock) | anklet)."""
+        queries = [
+            ["red", "men", "sock"],
+            ["red", "men", "breathable", "low-cut-sock"],
+            ["red", "men", "anklet"],
+        ]
+        merged = merge_queries(queries)
+        assert merged.evaluate(index).doc_ids == {0, 1, 2}
+        assert merged.terms() == {"red", "men", "sock", "breathable", "low-cut-sock", "anklet"}
+        # merged tree far smaller than three separate trees
+        separate_nodes = sum(tree_size(build_tree(q)) for q in queries)
+        assert tree_size(merged) < separate_nodes
+
+    def test_merge_single_query_is_plain_tree(self, index):
+        merged = merge_queries([["red", "men"]])
+        assert merged.evaluate(index).doc_ids == build_tree(["red", "men"]).evaluate(index).doc_ids
+
+    def test_merge_with_query_fully_covered_by_common(self, index):
+        """If one query is a subset of the common tokens, the OR is vacuous."""
+        merged = merge_queries([["red"], ["red", "men"]])
+        # union of results: docs with red (query 1) ∪ docs with red&men
+        assert merged.evaluate(index).doc_ids == {0, 1, 2, 4}
+
+    def test_merge_disjoint_queries(self, index):
+        merged = merge_queries([["anklet"], ["blue"]])
+        assert merged.evaluate(index).doc_ids == {2, 3}
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_queries([[]])
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        # the index fixture is read-only, so sharing it across examples is safe
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        queries=st.lists(
+            st.lists(
+                st.sampled_from(["red", "men", "sock", "blue", "women", "anklet", "breathable"]),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_property_merge_equals_union_of_individual_retrievals(self, index, queries):
+        """Soundness of the Section III-H optimization: the merged tree must
+        retrieve EXACTLY the union of per-query retrievals."""
+        merged_docs = merge_queries(queries).evaluate(index).doc_ids
+        union = set()
+        for query in queries:
+            union |= build_tree(query).evaluate(index).doc_ids
+        assert merged_docs == union
+
+
+class TestSearchEngine:
+    @pytest.fixture(scope="class")
+    def engine(self, tiny_market):
+        return SearchEngine(tiny_market.catalog)
+
+    def test_search_returns_ranked_docs(self, engine, tiny_market):
+        product = tiny_market.catalog.products[0]
+        outcome = engine.search(" ".join(product.title_tokens[:2]))
+        assert product.product_id in outcome.doc_ids
+
+    def test_rewrites_add_recall(self, engine):
+        base = engine.search("senior mobile phone")
+        extended = engine.search("senior mobile phone", ["big-button mobile phone"])
+        assert set(base.doc_ids) <= set(extended.doc_ids)
+
+    def test_merged_and_separate_agree(self, engine):
+        comparison = engine.compare_costs(
+            "senior mobile phone", ["big-button mobile phone", "flip mobile phone"]
+        )
+        assert comparison["postings_ratio"] <= 1.0 + 1e-9
+
+    def test_merge_cheaper_with_shared_tokens(self, engine):
+        comparison = engine.compare_costs(
+            "senior mobile phone",
+            ["senior flip mobile phone", "senior big-button mobile phone"],
+        )
+        assert comparison["postings_ratio"] < 1.0
+        assert comparison["nodes_ratio"] < 1.0
+
+    def test_empty_query_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("   ")
+
+    def test_max_candidates_cap(self, tiny_market):
+        engine = SearchEngine(tiny_market.catalog, SearchConfig(max_candidates=2))
+        outcome = engine.search("mobile phone")
+        assert len(outcome.doc_ids) <= 2
+
+    def test_ranking_prefers_overlap(self, tiny_market):
+        engine = SearchEngine(tiny_market.catalog)
+        outcome = engine.search("mobile phone")
+        if len(outcome.doc_ids) >= 2:
+            first = engine.index.document(outcome.doc_ids[0])
+            overlap_first = sum(1 for t in first if t in ("mobile", "phone"))
+            last = engine.index.document(outcome.doc_ids[-1])
+            overlap_last = sum(1 for t in last if t in ("mobile", "phone"))
+            assert overlap_first >= overlap_last

@@ -1,0 +1,193 @@
+"""Tokenization, vocabulary, n-grams, edit distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text import (
+    EOS,
+    PAD,
+    SOS,
+    UNK,
+    Vocabulary,
+    detokenize,
+    levenshtein,
+    ngram_f1,
+    ngram_multiset,
+    ngram_precision_recall,
+    ngrams,
+    normalize,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Senior PHONE") == ["senior", "phone"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("phone, for grandpa!") == ["phone", "for", "grandpa"]
+
+    def test_keeps_hyphens_and_specs(self):
+        assert tokenize("big-button 5g 1.5kg") == ["big-button", "5g", "1.5kg"]
+
+    def test_squeezes_whitespace(self):
+        assert tokenize("  a   b  ") == ["a", "b"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+    def test_detokenize_inverse(self):
+        tokens = ["senior", "mobile", "phone"]
+        assert tokenize(detokenize(tokens)) == tokens
+
+    def test_normalize_idempotent(self):
+        text = "Senior, PHONE  for Grandpa!"
+        assert normalize(normalize(text)) == normalize(text)
+
+
+class TestVocabulary:
+    def test_specials_reserved(self):
+        vocab = Vocabulary()
+        assert vocab.token_to_id(PAD) == 0
+        assert vocab.token_to_id(SOS) == 1
+        assert vocab.token_to_id(EOS) == 2
+        assert vocab.token_to_id(UNK) == 3
+        assert len(vocab) == 4
+
+    def test_build_frequency_order(self):
+        vocab = Vocabulary.build([["b", "a", "a"], ["a", "b", "c"]])
+        # a(3) before b(2) before c(1)
+        assert vocab.token_to_id("a") < vocab.token_to_id("b") < vocab.token_to_id("c")
+
+    def test_build_min_freq(self):
+        vocab = Vocabulary.build([["a", "a", "b"]], min_freq=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_build_max_size(self):
+        vocab = Vocabulary.build([["a", "a", "b", "c"]], max_size=5)
+        assert len(vocab) == 5  # 4 specials + 1
+
+    def test_unknown_encodes_to_unk(self):
+        vocab = Vocabulary(["known"])
+        assert vocab.encode(["mystery"], add_eos=False) == [vocab.unk_id]
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary(["senior", "phone"])
+        ids = vocab.encode(["senior", "phone"], add_sos=True, add_eos=True)
+        assert ids[0] == vocab.sos_id
+        assert ids[-1] == vocab.eos_id
+        assert vocab.decode(ids) == ["senior", "phone"]
+
+    def test_decode_stops_at_eos(self):
+        vocab = Vocabulary(["a", "b"])
+        ids = [vocab.token_to_id("a"), vocab.eos_id, vocab.token_to_id("b")]
+        assert vocab.decode(ids) == ["a"]
+
+    def test_decode_keeps_specials_when_asked(self):
+        vocab = Vocabulary(["a"])
+        ids = [vocab.sos_id, vocab.token_to_id("a"), vocab.eos_id]
+        assert vocab.decode(ids, strip_special=False) == [SOS, "a", EOS]
+
+    def test_id_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Vocabulary().id_to_token(99)
+
+    def test_duplicate_tokens_collapse(self):
+        vocab = Vocabulary(["x", "x"])
+        assert len(vocab) == 5
+
+    def test_tokens_listing(self):
+        vocab = Vocabulary(["z"])
+        assert vocab.tokens() == [PAD, SOS, EOS, UNK, "z"]
+
+
+class TestNgrams:
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == [("a",), ("b",)]
+
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_n_longer_than_sequence(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_multiset_counts_duplicates(self):
+        bag = ngram_multiset(["a", "a", "a"], orders=(1,))
+        assert bag[("a",)] == 3
+
+    def test_identical_queries_f1_is_one(self):
+        tokens = ["red", "men", "sock"]
+        assert ngram_f1(tokens, tokens) == pytest.approx(1.0)
+
+    def test_disjoint_queries_f1_is_zero(self):
+        assert ngram_f1(["a", "b"], ["c", "d"]) == 0.0
+
+    def test_precision_recall_direction(self):
+        # rewritten ⊂ original: precision 1, recall < 1
+        p, r = ngram_precision_recall(["red", "sock"], ["red", "men", "sock"])
+        assert p > r
+
+    def test_paper_style_f1(self):
+        """Single-word substitution (rule-based style) keeps F1 high."""
+        f1_rule = ngram_f1(["senior", "phone"], ["elderly", "phone"])
+        f1_model = ngram_f1(["apple", "official"], ["cellphone", "for", "grandpa"])
+        assert f1_rule > f1_model
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_token_level(self):
+        assert levenshtein(["senior", "phone"], ["grandpa", "phone"]) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=8), st.text(max_size=8))
+    def test_property_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=6), st.text(max_size=6), st.text(max_size=6))
+    def test_property_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=8), st.text(max_size=8))
+    def test_property_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["red", "men", "sock", "shoe", "big"]), min_size=1, max_size=6))
+def test_property_f1_self_identity(tokens):
+    assert ngram_f1(tokens, tokens) == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.sampled_from("abcde"), min_size=1, max_size=5),
+    st.lists(st.sampled_from("abcde"), min_size=1, max_size=5),
+)
+def test_property_f1_symmetric_range(a, b):
+    value = ngram_f1(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == pytest.approx(ngram_f1(b, a))
