@@ -2,13 +2,30 @@
 
 The paper precomputes rewrites for the top 8 million queries — covering
 more than 80% of traffic — and serves them from a key-value store in under
-5 ms.  This class reproduces that tier: populate it offline from any
-rewriter, then look up by normalized query text at serving time.
+5 ms.  This module reproduces that tier as a *finite* resource, the way a
+production key-value store is provisioned:
+
+* **bounded capacity** — the store holds at most ``capacity`` entries and
+  evicts in LRU order (a lookup refreshes recency), so the "top 8M
+  queries" tier is a budget, not an ever-growing dict;
+* **sharding** — entries are spread over ``shards`` independent LRU
+  shards by a stable hash of the normalized query, mirroring the
+  partitioned deployment and keeping per-shard occupancy/eviction
+  counters observable;
+* **optional TTL** — precomputed rewrites go stale as the catalog and
+  click log drift; entries older than ``ttl_seconds`` are treated as
+  misses and collected lazily on access.
+
+The default construction (``RewriteCache()``) remains an unbounded
+single-shard store with no TTL, matching the original seed behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
 
 from repro.text import normalize
 
@@ -17,6 +34,8 @@ from repro.text import normalize
 class CacheStats:
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -24,30 +43,130 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-class RewriteCache:
-    """Normalized-query -> precomputed rewrites store."""
+class _Shard:
+    """One LRU partition: insertion/refresh order is recency order."""
 
-    def __init__(self):
-        self._store: dict[str, list[str]] = {}
+    __slots__ = ("capacity", "entries", "evictions")
+
+    def __init__(self, capacity: int | None):
+        self.capacity = capacity
+        #: key -> (rewrites, stored_at); oldest (least recently used) first
+        self.entries: OrderedDict[str, tuple[list[str], float]] = OrderedDict()
+        self.evictions = 0
+
+
+class RewriteCache:
+    """Normalized-query -> precomputed rewrites store (bounded, sharded LRU).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum total number of entries across all shards; ``None`` means
+        unbounded.  The bound is split evenly over the shards, so the
+        store can never hold more than ``capacity`` entries.
+    shards:
+        Number of independent LRU partitions (must divide the key space
+        reasonably; any ``>= 1`` works).
+    ttl_seconds:
+        Entries older than this are expired lazily on access; ``None``
+        disables expiry.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        shards: int = 1,
+        ttl_seconds: float | None = None,
+        clock=time.monotonic,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if capacity is not None and capacity < shards:
+            raise ValueError("capacity must be at least the shard count")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self._capacity = capacity
+        self._ttl = ttl_seconds
+        self._clock = clock
+        base, extra = (0, 0) if capacity is None else divmod(capacity, shards)
+        self._shards = [
+            _Shard(None if capacity is None else base + (1 if i < extra else 0))
+            for i in range(shards)
+        ]
         self.stats = CacheStats()
 
+    # -- introspection -------------------------------------------------------
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Occupancy as a fraction of capacity (0.0 when unbounded)."""
+        if not self._capacity:
+            return 0.0
+        return len(self) / self._capacity
+
+    def shard_occupancy(self) -> list[int]:
+        return [len(s.entries) for s in self._shards]
+
+    def shard_evictions(self) -> list[int]:
+        return [s.evictions for s in self._shards]
+
     def __len__(self) -> int:
-        return len(self._store)
+        return sum(len(s.entries) for s in self._shards)
 
     def __contains__(self, query: str) -> bool:
-        return normalize(query) in self._store
+        key = normalize(query)
+        entry = self._shard_for(key).entries.get(key)
+        return entry is not None and not self._expired(entry)
+
+    # -- core operations ---------------------------------------------------------
+    def _shard_for(self, key: str) -> _Shard:
+        # zlib.crc32 is stable across processes (unlike ``hash`` on str),
+        # so shard placement is deterministic and testable.
+        return self._shards[zlib.crc32(key.encode("utf-8")) % len(self._shards)]
+
+    def _expired(self, entry: tuple[list[str], float]) -> bool:
+        return self._ttl is not None and self._clock() - entry[1] > self._ttl
 
     def put(self, query: str, rewrites: list[str]) -> None:
-        self._store[normalize(query)] = list(rewrites)
+        """Insert or refresh an entry, evicting LRU entries past capacity."""
+        key = normalize(query)
+        shard = self._shard_for(key)
+        shard.entries[key] = (list(rewrites), self._clock())
+        shard.entries.move_to_end(key)
+        while shard.capacity is not None and len(shard.entries) > shard.capacity:
+            shard.entries.popitem(last=False)
+            shard.evictions += 1
+            self.stats.evictions += 1
 
     def get(self, query: str) -> list[str] | None:
-        """Rewrites for ``query`` or None on a miss (stats are updated)."""
-        found = self._store.get(normalize(query))
-        if found is None:
+        """Rewrites for ``query`` or None on a miss (stats are updated).
+
+        A hit refreshes the entry's LRU position; an entry past its TTL is
+        removed and counted as both an expiration and a miss.
+        """
+        key = normalize(query)
+        shard = self._shard_for(key)
+        entry = shard.entries.get(key)
+        if entry is None:
             self.stats.misses += 1
             return None
+        if self._expired(entry):
+            del shard.entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        shard.entries.move_to_end(key)
         self.stats.hits += 1
-        return list(found)
+        return list(entry[0])
 
     def populate(self, rewriter, queries: list[str], k: int = 3, progress=None) -> int:
         """Precompute rewrites for head ``queries`` using any rewriter with

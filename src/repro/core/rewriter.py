@@ -19,9 +19,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.dataset import pad_batch
-from repro.decoding import top_n_sampling
+from repro.decoding import top_n_sampling, top_n_sampling_batch
 from repro.decoding.logspace import logsumexp_np
-from repro.models.base import Seq2SeqModel
+from repro.models.base import Seq2SeqModel, pad_sources
 from repro.text import Vocabulary, tokenize
 
 
@@ -221,6 +221,43 @@ class DirectRewriter:
             self.model, src, k=k, n=cfg.top_n, max_len=cfg.max_query_len,
             rng=self._rng, forbid_tokens=(self.vocab.unk_id,),
         )
+        return self._results_from_hyps(hyps, query_tokens, k)
+
+    def rewrite_batch(
+        self, queries: list[str | list[str]], k: int | None = None
+    ) -> list[list[RewriteResult]]:
+        """Rewrite many queries in one batched decode (serving hot path).
+
+        All queries' candidate sequences are stacked into a single flat
+        decode batch, so a batch of B queries costs the same number of
+        model forward passes as one query.  Returns one result list per
+        query, in input order; empty queries get empty lists.
+        """
+        cfg = self.config
+        k = k or cfg.k
+        token_lists = [
+            tokenize(q) if isinstance(q, str) else list(q) for q in queries
+        ]
+        results: list[list[RewriteResult]] = [[] for _ in queries]
+        live = [i for i, tokens in enumerate(token_lists) if tokens]
+        if not live:
+            return results
+        sources = [
+            self.vocab.encode(token_lists[i], add_eos=True) for i in live
+        ]
+        self.model.eval()
+        grouped = top_n_sampling_batch(
+            self.model, pad_sources(sources, self.vocab.pad_id),
+            k=k, n=cfg.top_n, max_len=cfg.max_query_len,
+            rng=self._rng, forbid_tokens=(self.vocab.unk_id,),
+        )
+        for i, hyps in zip(live, grouped):
+            results[i] = self._results_from_hyps(hyps, token_lists[i], k)
+        return results
+
+    def _results_from_hyps(
+        self, hyps, query_tokens: list[str], k: int
+    ) -> list[RewriteResult]:
         original = tuple(self.vocab.encode(query_tokens, add_eos=False))
         results = [
             RewriteResult(tokens=tuple(self.vocab.decode(list(h.tokens))), log_prob=h.log_prob)

@@ -8,13 +8,26 @@ Two tiers, as deployed at JD:
    query-to-query model (the hybrid transformer-encoder/RNN-decoder, about
    30 ms on a 32-core CPU in the paper).
 
+Two serving modes:
+
+* :meth:`ServingPipeline.serve` — one request at a time, the seed path.
+* :meth:`ServingPipeline.serve_batch` — the throughput path: a batch of
+  requests is partitioned into cache hits and model-tier misses, and all
+  misses are decoded in **one** batched model pass (``rewrite_batch``),
+  so the per-call model overhead is paid once per batch instead of once
+  per miss.
+
 The pipeline measures wall-clock latency per request and keeps per-tier
 counters, so the cache-coverage / latency tradeoff of Section III-G can be
-reproduced quantitatively.
+reproduced quantitatively.  When the cache tier is bounded
+(:class:`~repro.core.cache.RewriteCache` with a capacity), its eviction
+count, fill ratio, and per-shard occupancy are mirrored into
+:class:`ServingStats` after every serve.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -29,11 +42,22 @@ class ServingConfig:
     #: soft latency budget in ms (the paper's backend budget is ~50 ms);
     #: requests are not cut off, but breaches are counted.
     latency_budget_ms: float = 50.0
+    #: write model-tier results back into the cache tier, so repeated tail
+    #: queries promote themselves into the key-value store (the bounded
+    #: LRU cache then evicts whatever went cold).
+    cache_model_results: bool = False
 
 
 @dataclass
 class ServedRewrite:
-    """Outcome of one serving request."""
+    """Outcome of one serving request.
+
+    For requests served through :meth:`ServingPipeline.serve_batch`,
+    ``latency_ms`` of model-tier requests is the batch's model time
+    amortized evenly over its misses (plus the request's own cache-lookup
+    time); the batch decode is shared work with no meaningful per-request
+    attribution.
+    """
 
     query: str
     rewrites: list[str]
@@ -47,7 +71,13 @@ class ServingStats:
     model_served: int = 0
     unserved: int = 0
     budget_breaches: int = 0
+    batches: int = 0
     latencies_ms: list[float] = field(default_factory=list)
+    #: cache-tier gauges, mirrored from the bounded cache after each serve
+    cache_evictions: int = 0
+    cache_expirations: int = 0
+    cache_fill_ratio: float = 0.0
+    cache_shard_occupancy: list[int] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -56,11 +86,23 @@ class ServingStats:
     def mean_latency_ms(self) -> float:
         return sum(self.latencies_ms) / len(self.latencies_ms) if self.latencies_ms else 0.0
 
-    def p99_latency_ms(self) -> float:
+    def percentile_latency_ms(self, q: float) -> float:
+        """Nearest-rank percentile: the ``ceil(q·n)``-th smallest latency."""
+        if not (0.0 < q <= 1.0):
+            raise ValueError("q must be in (0, 1]")
         if not self.latencies_ms:
             return 0.0
         ordered = sorted(self.latencies_ms)
-        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        return ordered[math.ceil(q * len(ordered)) - 1]
+
+    def p50_latency_ms(self) -> float:
+        return self.percentile_latency_ms(0.50)
+
+    def p95_latency_ms(self) -> float:
+        return self.percentile_latency_ms(0.95)
+
+    def p99_latency_ms(self) -> float:
+        return self.percentile_latency_ms(0.99)
 
 
 class ServingPipeline:
@@ -75,31 +117,23 @@ class ServingPipeline:
         """``fallback_rewriter`` is any object with
         ``rewrite(query, k) -> list[RewriteResult]`` (typically a
         :class:`~repro.core.rewriter.DirectRewriter` over a hybrid model);
-        pass None to serve cache-only."""
+        pass None to serve cache-only.  ``serve_batch`` additionally uses
+        ``rewrite_batch(queries, k)`` when the rewriter provides it."""
         self.cache = cache
         self.fallback = fallback_rewriter
         self.config = config or ServingConfig()
         self.stats = ServingStats()
 
-    def serve(self, query: str) -> ServedRewrite:
-        """Serve one request, recording tier and latency."""
-        started = time.perf_counter()
-        rewrites: list[str] = []
-        source = "none"
+    # -- internal ------------------------------------------------------------
+    def _lookup_cache(self, query: str) -> list[str] | None:
+        if self.cache is None:
+            return None
+        cached = self.cache.get(query)
+        if cached is None:
+            return None
+        return cached[: self.config.max_rewrites]
 
-        if self.cache is not None:
-            cached = self.cache.get(query)
-            if cached is not None:
-                rewrites = cached[: self.config.max_rewrites]
-                source = "cache"
-
-        if not rewrites and self.fallback is not None:
-            results = self.fallback.rewrite(query, k=self.config.max_rewrites)
-            rewrites = [r.text for r in results]
-            if rewrites:
-                source = "model"
-
-        latency_ms = (time.perf_counter() - started) * 1000.0
+    def _record(self, source: str, latency_ms: float) -> None:
         self.stats.latencies_ms.append(latency_ms)
         if latency_ms > self.config.latency_budget_ms:
             self.stats.budget_breaches += 1
@@ -109,4 +143,100 @@ class ServingPipeline:
             self.stats.model_served += 1
         else:
             self.stats.unserved += 1
-        return ServedRewrite(query=query, rewrites=rewrites, source=source, latency_ms=latency_ms)
+
+    def _writeback(self, query: str, rewrites: list[str]) -> None:
+        if self.config.cache_model_results and self.cache is not None and rewrites:
+            self.cache.put(query, rewrites)
+
+    def _sync_cache_gauges(self) -> None:
+        # O(shards) per call — negligible next to a model decode, and it
+        # keeps ServingStats a plain value object with no cache backref.
+        if self.cache is None:
+            return
+        self.stats.cache_evictions = self.cache.stats.evictions
+        self.stats.cache_expirations = self.cache.stats.expirations
+        self.stats.cache_fill_ratio = self.cache.fill_ratio
+        self.stats.cache_shard_occupancy = self.cache.shard_occupancy()
+
+    # -- serving -------------------------------------------------------------
+    def serve(self, query: str) -> ServedRewrite:
+        """Serve one request, recording tier and latency."""
+        started = time.perf_counter()
+        rewrites = self._lookup_cache(query)
+        source = "cache" if rewrites else "none"
+
+        if not rewrites and self.fallback is not None:
+            results = self.fallback.rewrite(query, k=self.config.max_rewrites)
+            rewrites = [r.text for r in results]
+            if rewrites:
+                source = "model"
+                self._writeback(query, rewrites)
+
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self._record(source, latency_ms)
+        self._sync_cache_gauges()
+        return ServedRewrite(
+            query=query, rewrites=rewrites or [], source=source, latency_ms=latency_ms
+        )
+
+    def serve_batch(self, queries: list[str]) -> list[ServedRewrite]:
+        """Serve a batch of requests with one batched model-tier decode.
+
+        The batch is partitioned into cache hits and misses; all misses go
+        through the fallback's ``rewrite_batch`` in a single stacked decode
+        (falling back to per-query ``rewrite`` for rewriters without batch
+        support).  Results come back in request order, and tier counters
+        account every request exactly once (hit, model, or unserved).
+        """
+        results: list[ServedRewrite | None] = [None] * len(queries)
+        lookup_ms = [0.0] * len(queries)
+        misses: list[int] = []
+
+        for i, query in enumerate(queries):
+            started = time.perf_counter()
+            rewrites = self._lookup_cache(query)
+            lookup_ms[i] = (time.perf_counter() - started) * 1000.0
+            if rewrites:
+                results[i] = ServedRewrite(
+                    query=query, rewrites=rewrites, source="cache",
+                    latency_ms=lookup_ms[i],
+                )
+            else:
+                misses.append(i)
+
+        if misses and self.fallback is not None:
+            miss_queries = [queries[i] for i in misses]
+            started = time.perf_counter()
+            if hasattr(self.fallback, "rewrite_batch"):
+                batched = self.fallback.rewrite_batch(
+                    miss_queries, k=self.config.max_rewrites
+                )
+            else:
+                batched = [
+                    self.fallback.rewrite(q, k=self.config.max_rewrites)
+                    for q in miss_queries
+                ]
+            model_ms = (time.perf_counter() - started) * 1000.0
+            amortized_ms = model_ms / len(misses)
+            for i, rewrite_results in zip(misses, batched):
+                rewrites = [r.text for r in rewrite_results]
+                source = "model" if rewrites else "none"
+                if rewrites:
+                    self._writeback(queries[i], rewrites)
+                results[i] = ServedRewrite(
+                    query=queries[i], rewrites=rewrites, source=source,
+                    latency_ms=lookup_ms[i] + amortized_ms,
+                )
+        else:
+            for i in misses:
+                results[i] = ServedRewrite(
+                    query=queries[i], rewrites=[], source="none",
+                    latency_ms=lookup_ms[i],
+                )
+
+        for served in results:
+            self._record(served.source, served.latency_ms)
+        if queries:
+            self.stats.batches += 1
+        self._sync_cache_gauges()
+        return results

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.decoding.hypothesis import Hypothesis
 from repro.decoding.logspace import log_softmax_np
-from repro.models.base import Seq2SeqModel
+from repro.models.base import Seq2SeqModel, pad_sources
 
 
 def beam_search(
@@ -98,3 +98,111 @@ def beam_search(
             unique[hyp.tokens] = hyp
     ranked = sorted(unique.values(), key=rank, reverse=True)
     return ranked[:beam_size]
+
+
+def beam_search_batch(
+    model: Seq2SeqModel,
+    src: np.ndarray | list[list[int]],
+    beam_size: int = 3,
+    max_len: int = 32,
+    length_penalty: float = 0.0,
+) -> list[list[Hypothesis]]:
+    """Beam search over a batch of sources in one stacked decode.
+
+    Every source keeps its own ``beam_size`` beams; the flat decode batch
+    is (num_sources × beam_size) rows, laid out source-major so a single
+    ``state.reorder`` call applies every source's beam shuffle at once.
+    Sources that exhaust their beams or collect enough finished hypotheses
+    stop being expanded (their rows keep stepping for batch rectangularity
+    but are ignored).  Returns one ranked hypothesis list per source.
+    """
+    if isinstance(src, list):
+        src = pad_sources(src, model.pad_id)
+    src = np.atleast_2d(np.asarray(src))
+    if beam_size <= 0:
+        raise ValueError("beam_size must be positive")
+    batch = src.shape[0]
+
+    state = model.start(src)
+    # Row s*beam_size + b holds beam b of source s.
+    state = state.reorder(np.repeat(np.arange(batch), beam_size), model)
+    beams: list[list[tuple[list[int], float]]] = [
+        [([], 0.0)] + [([], -np.inf)] * (beam_size - 1) for _ in range(batch)
+    ]
+    last = np.full(batch * beam_size, model.sos_id, dtype=np.int64)
+    finished: list[list[Hypothesis]] = [[] for _ in range(batch)]
+    active = [True] * batch
+
+    for _ in range(max_len):
+        if not any(active):
+            break
+        logits, state = model.step(state, last)
+        log_probs = log_softmax_np(logits)  # (batch*beam, vocab)
+        vocab = log_probs.shape[1]
+        reorder = np.arange(batch * beam_size, dtype=np.int64)
+        next_tokens = last.copy()
+
+        for s in range(batch):
+            if not active[s]:
+                continue
+            base = s * beam_size
+            block = log_probs[base : base + beam_size]
+            scores = np.array([score for _, score in beams[s]])[:, None] + block
+            flat = scores.reshape(-1)
+            top = np.argpartition(-flat, min(beam_size, flat.size) - 1)[:beam_size]
+            top = top[np.argsort(-flat[top])]
+
+            new_beams: list[tuple[list[int], float]] = []
+            local_reorder: list[int] = []
+            local_tokens: list[int] = []
+            for flat_idx in top:
+                beam_idx, token = divmod(int(flat_idx), vocab)
+                score = float(flat[flat_idx])
+                if not np.isfinite(score):
+                    continue
+                prefix = beams[s][beam_idx][0]
+                if token == model.eos_id:
+                    finished[s].append(
+                        Hypothesis(tokens=tuple(prefix), log_prob=score, finished=True)
+                    )
+                    continue
+                new_beams.append((prefix + [token], score))
+                local_reorder.append(beam_idx)
+                local_tokens.append(token)
+
+            if not new_beams or len(finished[s]) >= beam_size:
+                active[s] = False
+                if new_beams:
+                    beams[s] = new_beams + [
+                        (new_beams[0][0], -np.inf)
+                    ] * (beam_size - len(new_beams))
+                continue
+            while len(new_beams) < beam_size:
+                new_beams.append((new_beams[0][0], -np.inf))
+                local_reorder.append(local_reorder[0])
+                local_tokens.append(local_tokens[0])
+            beams[s] = new_beams
+            reorder[base : base + beam_size] = base + np.array(local_reorder)
+            next_tokens[base : base + beam_size] = local_tokens
+
+        state = state.reorder(reorder, model)
+        last = next_tokens
+
+    def rank(h: Hypothesis) -> float:
+        return h.log_prob / (len(h.tokens) + 1) ** length_penalty
+
+    results: list[list[Hypothesis]] = []
+    for s in range(batch):
+        pool = list(finished[s])
+        for prefix, score in beams[s]:
+            if np.isfinite(score):
+                pool.append(
+                    Hypothesis(tokens=tuple(prefix), log_prob=score, finished=False)
+                )
+        unique: dict[tuple[int, ...], Hypothesis] = {}
+        for hyp in pool:
+            kept = unique.get(hyp.tokens)
+            if kept is None or hyp.log_prob > kept.log_prob:
+                unique[hyp.tokens] = hyp
+        results.append(sorted(unique.values(), key=rank, reverse=True)[:beam_size])
+    return results

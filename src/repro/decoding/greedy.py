@@ -1,4 +1,9 @@
-"""Greedy decoding: the most likely token at every step."""
+"""Greedy decoding: the most likely token at every step.
+
+``greedy_decode`` serves one source; ``greedy_decode_batch`` decodes a
+whole stack of padded sources through the same number of model calls,
+which is what the batched serving tier rides on.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +11,7 @@ import numpy as np
 
 from repro.decoding.hypothesis import Hypothesis
 from repro.decoding.logspace import log_softmax_np
-from repro.models.base import Seq2SeqModel
+from repro.models.base import Seq2SeqModel, pad_sources
 
 
 def greedy_decode(model: Seq2SeqModel, src: np.ndarray, max_len: int = 32) -> Hypothesis:
@@ -37,3 +42,47 @@ def greedy_decode(model: Seq2SeqModel, src: np.ndarray, max_len: int = 32) -> Hy
         tokens.append(token)
         last = np.array([token], dtype=np.int64)
     return Hypothesis(tokens=tuple(tokens), log_prob=total_log_prob, finished=finished)
+
+
+def greedy_decode_batch(
+    model: Seq2SeqModel,
+    src: np.ndarray | list[list[int]],
+    max_len: int = 32,
+) -> list[Hypothesis]:
+    """Greedy-decode a batch of sources in one pass.
+
+    ``src`` is a padded (batch, seq) array or a list of variable-length id
+    lists (padded internally).  Each source is decoded independently —
+    the result matches per-source :func:`greedy_decode` — but every step
+    is a single batched model call, so the per-step python/numpy overhead
+    is paid once per position instead of once per source.
+    """
+    if isinstance(src, list):
+        src = pad_sources(src, model.pad_id)
+    src = np.atleast_2d(np.asarray(src))
+    batch = src.shape[0]
+    state = model.start(src)
+    last = np.full(batch, model.sos_id, dtype=np.int64)
+    sequences: list[list[int]] = [[] for _ in range(batch)]
+    log_probs = np.zeros(batch)
+    finished = np.zeros(batch, dtype=bool)
+    for _ in range(max_len):
+        if finished.all():
+            break
+        logits, state = model.step(state, last)
+        step_log_probs = log_softmax_np(logits)  # (batch, vocab)
+        choices = step_log_probs.argmax(axis=1)
+        for i in range(batch):
+            if finished[i]:
+                continue
+            token = int(choices[i])
+            log_probs[i] += float(step_log_probs[i, token])
+            if token == model.eos_id:
+                finished[i] = True
+            else:
+                sequences[i].append(token)
+                last[i] = token
+    return [
+        Hypothesis(tokens=tuple(seq), log_prob=float(lp), finished=bool(done))
+        for seq, lp, done in zip(sequences, log_probs, finished)
+    ]

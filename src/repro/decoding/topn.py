@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.decoding.hypothesis import Hypothesis
 from repro.decoding.logspace import log_softmax_np
-from repro.models.base import Seq2SeqModel
+from repro.models.base import Seq2SeqModel, pad_sources
 
 
 def top_n_sampling(
@@ -96,3 +96,100 @@ def top_n_sampling(
         Hypothesis(tokens=tuple(seq), log_prob=float(lp), finished=bool(done))
         for seq, lp, done in zip(sequences, log_probs, finished_flags)
     ]
+
+
+def top_n_sampling_batch(
+    model: Seq2SeqModel,
+    src: np.ndarray | list[list[int]],
+    k: int = 3,
+    n: int = 40,
+    max_len: int = 32,
+    rng: np.random.Generator | None = None,
+    forbid_tokens: tuple[int, ...] = (),
+) -> list[list[Hypothesis]]:
+    """Decode ``k`` diverse sequences for *each* of a batch of sources.
+
+    The algorithm is :func:`top_n_sampling` applied to every source, but
+    all candidates of all sources are stacked into one flat decode batch:
+    a batch of B sources costs the same number of model calls as a single
+    source, with B·k rows per call instead of k.  This is the model-tier
+    hot path of ``ServingPipeline.serve_batch``.
+
+    ``src`` is a padded (batch, seq) array or a list of variable-length id
+    lists (padded internally).  Returns one hypothesis list per source, in
+    input order; a source whose first step admits no legal token gets an
+    empty list.
+    """
+    if isinstance(src, list):
+        src = pad_sources(src, model.pad_id)
+    src = np.atleast_2d(np.asarray(src))
+    if k <= 0 or n <= 0:
+        raise ValueError("k and n must be positive")
+    rng = rng or np.random.default_rng()
+    blocked = set(forbid_tokens) | {model.pad_id, model.sos_id}
+    batch = src.shape[0]
+
+    state = model.start(src)
+    last = np.full(batch, model.sos_id, dtype=np.int64)
+    logits, state = model.step(state, last)
+    first_log_probs = log_softmax_np(logits)  # (batch, vocab)
+
+    # Step 1 per source: the k most likely unique first tokens.
+    owner: list[int] = []  # source index of each flat candidate row
+    first_tokens: list[int] = []
+    for s in range(batch):
+        order = np.argsort(-first_log_probs[s])
+        firsts = [
+            int(t) for t in order if int(t) not in blocked and int(t) != model.eos_id
+        ][:k]
+        owner.extend(s for _ in firsts)
+        first_tokens.extend(firsts)
+    if not first_tokens:
+        return [[] for _ in range(batch)]
+    flat = len(first_tokens)
+
+    state = state.reorder(np.array(owner, dtype=np.int64), model)
+    sequences: list[list[int]] = [[t] for t in first_tokens]
+    log_probs = np.array(
+        [float(first_log_probs[s, t]) for s, t in zip(owner, first_tokens)]
+    )
+    alive = np.ones(flat, dtype=bool)
+    finished_flags = np.zeros(flat, dtype=bool)
+    last = np.array(first_tokens, dtype=np.int64)
+
+    for _ in range(max_len - 1):
+        if not alive.any():
+            break
+        logits, state = model.step(state, last)
+        step_log_probs = log_softmax_np(logits)  # (flat, vocab)
+        next_tokens = last.copy()
+        for i in range(flat):
+            if not alive[i]:
+                continue
+            row = step_log_probs[i].copy()
+            for b in blocked:
+                row[b] = -np.inf
+            pool = np.argsort(-row)[:n]
+            pool_logp = row[pool]
+            probs = np.exp(pool_logp - pool_logp.max())
+            probs /= probs.sum()
+            choice = int(pool[rng.choice(len(pool), p=probs)])
+            log_probs[i] += float(row[choice])
+            if choice == model.eos_id:
+                alive[i] = False
+                finished_flags[i] = True
+            else:
+                sequences[i].append(choice)
+                next_tokens[i] = choice
+        last = next_tokens
+
+    grouped: list[list[Hypothesis]] = [[] for _ in range(batch)]
+    for i in range(flat):
+        grouped[owner[i]].append(
+            Hypothesis(
+                tokens=tuple(sequences[i]),
+                log_prob=float(log_probs[i]),
+                finished=bool(finished_flags[i]),
+            )
+        )
+    return grouped

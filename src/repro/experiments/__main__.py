@@ -25,6 +25,7 @@ from repro.experiments import (
     fig9,
     lm_exploration,
     serving,
+    serving_batched,
     table1,
     table2,
     table5,
@@ -47,6 +48,7 @@ RUNNERS = {
     "fig8": fig8.run,
     "fig9": fig9.run,
     "serving": serving.run,
+    "serving_batched": serving_batched.run,
     "ablation_lambda": ablations.lambda_sweep,
     "ablation_diversity": ablations.decoder_diversity,
     "ablation_warmup": ablations.warmup_sensitivity,

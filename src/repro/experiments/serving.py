@@ -2,9 +2,14 @@
 
 The paper's two-tier deployment: precomputed rewrites for head queries
 (>80% traffic, <5 ms) and a fast hybrid q2q model for the long tail
-(~30 ms).  We populate a cache with the head of the simulated traffic
-distribution, serve a traffic replay through the pipeline, and report tier
-shares and latencies.
+(~30 ms).  We populate a *bounded, sharded* cache with the head of the
+simulated traffic distribution, replay traffic through the batched
+serving path (requests arrive in batches; misses share one stacked
+decode), and report tier shares, latency percentiles, and the cache's
+occupancy/eviction gauges.  Model-tier results are written back into the
+cache, so repeated tail queries promote themselves and the LRU bound
+evicts whatever went cold — the "top 8M queries" tier as a finite
+resource rather than an ever-growing dict.
 """
 
 from __future__ import annotations
@@ -19,6 +24,11 @@ from repro.experiments.scale import ExperimentScale, SMALL
 from repro.experiments.shared import build_context
 from repro.models import HybridNMT, ModelConfig
 from repro.training import SeparateTrainer, TrainingConfig
+
+#: requests per serving batch in the traffic replay
+BATCH_SIZE = 16
+#: cache shards (the partitioned key-value deployment)
+CACHE_SHARDS = 4
 
 
 def _train_q2q_model(context, steps: int) -> HybridNMT:
@@ -56,9 +66,15 @@ def run(scale: ExperimentScale = SMALL, head_fraction: float = 0.4) -> Experimen
     weights = np.array([max(r.total_clicks, 1) for r in records], dtype=float)
     weights /= weights.sum()
 
-    # Tier 1: precompute rewrites for the head of the distribution.
-    head_count = max(1, int(len(texts) * head_fraction))
-    cache = RewriteCache()
+    # Tier 1: precompute rewrites for the head of the distribution into a
+    # capacity-bounded sharded LRU.  Capacity carries 25% headroom over the
+    # head set: the bound is split evenly across shards while crc32 key
+    # placement is not, so an exact-fit budget would evict head entries
+    # from whichever shard runs hot.
+    head_count = max(CACHE_SHARDS, int(len(texts) * head_fraction))
+    cache = RewriteCache(
+        capacity=max(CACHE_SHARDS, int(head_count * 1.25)), shards=CACHE_SHARDS
+    )
     offline_rewriter = context.rewriter("joint")
     cache.populate(offline_rewriter, texts[:head_count], k=3)
 
@@ -69,28 +85,45 @@ def run(scale: ExperimentScale = SMALL, head_fraction: float = 0.4) -> Experimen
         context.vocab,
         RewriterConfig(k=3, top_n=scale.top_n, max_query_len=10, seed=scale.seed),
     )
-    pipeline = ServingPipeline(cache, fallback, ServingConfig(max_rewrites=3))
+    pipeline = ServingPipeline(
+        cache, fallback, ServingConfig(max_rewrites=3, cache_model_results=True)
+    )
 
-    # Replay traffic.
+    # Replay traffic in serving batches: misses share one stacked decode.
     n_requests = scale.abtest_sessions_per_day * 2
-    for _ in range(n_requests):
-        query = texts[int(rng.choice(len(texts), p=weights))]
-        pipeline.serve(query)
+    requests = [
+        texts[int(i)] for i in rng.choice(len(texts), size=n_requests, p=weights)
+    ]
+    for start in range(0, n_requests, BATCH_SIZE):
+        pipeline.serve_batch(requests[start : start + BATCH_SIZE])
 
     stats = pipeline.stats
     measured = {
         "cache_entries": len(cache),
+        "cache_capacity": cache.capacity,
+        "cache_fill_ratio": stats.cache_fill_ratio,
+        "cache_evictions": stats.cache_evictions,
         "cache_share": stats.cache_served / max(1, stats.total),
         "model_share": stats.model_served / max(1, stats.total),
         "unserved_share": stats.unserved / max(1, stats.total),
         "mean_latency_ms": stats.mean_latency_ms(),
+        "p50_latency_ms": stats.p50_latency_ms(),
+        "p95_latency_ms": stats.p95_latency_ms(),
         "p99_latency_ms": stats.p99_latency_ms(),
     }
+    occupancy = ", ".join(str(n) for n in stats.cache_shard_occupancy)
     rows = [
         ["traffic served from cache", "> 80% (top 8M queries)", f"{measured['cache_share']:.1%}"],
         ["traffic served by q2q model", "long tail", f"{measured['model_share']:.1%}"],
+        ["cache occupancy / capacity", "top-8M budget", f"{len(cache)}/{cache.capacity} ({measured['cache_fill_ratio']:.0%})"],
+        ["cache evictions (LRU)", "finite KV store", f"{measured['cache_evictions']}"],
+        ["per-shard occupancy", f"{CACHE_SHARDS} shards", occupancy],
         ["mean latency", "<5ms cache / ~30ms model", f"{measured['mean_latency_ms']:.2f} ms"],
-        ["p99 latency", "~50ms budget", f"{measured['p99_latency_ms']:.2f} ms"],
+        ["p50 / p95 / p99 latency", "~50ms budget", (
+            f"{measured['p50_latency_ms']:.2f} / "
+            f"{measured['p95_latency_ms']:.2f} / "
+            f"{measured['p99_latency_ms']:.2f} ms"
+        )],
     ]
     rendered = ascii_table(["quantity", "paper", "measured"], rows, float_format="{:.3f}")
     return ExperimentResult(
@@ -99,5 +132,9 @@ def run(scale: ExperimentScale = SMALL, head_fraction: float = 0.4) -> Experimen
         measured=measured,
         paper={"cache_share": ">0.8", "latency": "30ms CPU"},
         rendered=rendered,
-        notes="Head-query caching plus direct-q2q fallback reproduces the two-tier design.",
+        notes=(
+            "Bounded sharded-LRU head cache plus batched direct-q2q fallback; "
+            "model-tier results are written back so hot tail queries promote "
+            "themselves under the LRU capacity."
+        ),
     )

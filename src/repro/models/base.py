@@ -23,6 +23,22 @@ from repro.nn.loss import sequence_cross_entropy
 from repro.nn.module import Module
 
 
+def pad_sources(sequences: list[list[int]], pad_id: int) -> np.ndarray:
+    """Right-pad variable-length source id lists into one (batch, seq) array.
+
+    The stacked-sequence entry point for batched decoding: every model's
+    ``encode`` masks pad positions, so sources of different lengths can be
+    pushed through the encoder in a single forward pass.
+    """
+    if not sequences:
+        raise ValueError("pad_sources received no sequences")
+    width = max(1, max(len(s) for s in sequences))
+    out = np.full((len(sequences), width), pad_id, dtype=np.int64)
+    for i, seq in enumerate(sequences):
+        out[i, : len(seq)] = seq
+    return out
+
+
 @dataclass
 class DecodeState:
     """Model-specific decoding state.

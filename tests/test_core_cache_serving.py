@@ -1,8 +1,8 @@
-"""Rewrite cache and the two-tier serving pipeline."""
+"""Rewrite cache (bounded sharded LRU) and the two-tier serving pipeline."""
 
 import pytest
 
-from repro.core import RewriteCache, ServingConfig, ServingPipeline
+from repro.core import RewriteCache, ServingConfig, ServingPipeline, ServingStats
 from repro.core.rewriter import RewriteResult
 
 
@@ -17,6 +17,18 @@ class StubRewriter:
         self.calls += 1
         rewrites = self.mapping.get(query, [])
         return [RewriteResult(tokens=tuple(r.split()), log_prob=-1.0) for r in rewrites[:k]]
+
+
+class BatchStubRewriter(StubRewriter):
+    """Stub with batch support, recording the batches it received."""
+
+    def __init__(self, mapping=None):
+        super().__init__(mapping)
+        self.batches: list[list[str]] = []
+
+    def rewrite_batch(self, queries, k=3):
+        self.batches.append(list(queries))
+        return [super(BatchStubRewriter, self).rewrite(q, k) for q in queries]
 
 
 class TestRewriteCache:
@@ -62,6 +74,217 @@ class TestRewriteCache:
         assert filled == 1
         assert cache.get("q1") == ["r1"]
         assert cache.get("q2") is None
+
+
+class TestBoundedCache:
+    def test_capacity_never_exceeded(self):
+        cache = RewriteCache(capacity=8, shards=4)
+        for i in range(100):
+            cache.put(f"query number {i}", [f"rewrite {i}"])
+            assert len(cache) <= 8
+        assert cache.stats.evictions == 100 - len(cache)
+
+    def test_lru_eviction_order(self):
+        cache = RewriteCache(capacity=2)
+        cache.put("a", ["ra"])
+        cache.put("b", ["rb"])
+        cache.put("c", ["rc"])  # evicts a (least recently used)
+        assert cache.get("a") is None
+        assert cache.get("b") == ["rb"]
+        assert cache.get("c") == ["rc"]
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = RewriteCache(capacity=2)
+        cache.put("a", ["ra"])
+        cache.put("b", ["rb"])
+        assert cache.get("a") == ["ra"]  # a is now most recent
+        cache.put("c", ["rc"])  # evicts b, not a
+        assert cache.get("a") == ["ra"]
+        assert cache.get("b") is None
+
+    def test_put_refreshes_recency(self):
+        cache = RewriteCache(capacity=2)
+        cache.put("a", ["ra"])
+        cache.put("b", ["rb"])
+        cache.put("a", ["ra2"])  # refresh, no eviction
+        assert cache.stats.evictions == 0
+        cache.put("c", ["rc"])  # evicts b
+        assert cache.get("a") == ["ra2"]
+        assert cache.get("b") is None
+
+    def test_shard_distribution(self):
+        cache = RewriteCache(capacity=64, shards=4)
+        for i in range(64):
+            cache.put(f"some query text {i}", ["r"])
+        occupancy = cache.shard_occupancy()
+        assert len(occupancy) == 4
+        assert sum(occupancy) == len(cache) == 64
+        # The crc32 hash spreads keys: every shard holds something, and no
+        # shard exceeds its per-shard budget (capacity split evenly).
+        assert all(0 < n <= 16 for n in occupancy)
+
+    def test_per_shard_eviction_counters(self):
+        cache = RewriteCache(capacity=4, shards=2)
+        for i in range(40):
+            cache.put(f"query {i}", ["r"])
+        assert sum(cache.shard_evictions()) == cache.stats.evictions > 0
+
+    def test_ttl_expiry(self):
+        now = [0.0]
+        cache = RewriteCache(ttl_seconds=10, clock=lambda: now[0])
+        cache.put("a", ["ra"])
+        assert cache.get("a") == ["ra"]
+        now[0] = 10.5
+        assert "a" not in cache
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0  # collected on access
+
+    def test_ttl_refreshed_by_put(self):
+        now = [0.0]
+        cache = RewriteCache(ttl_seconds=10, clock=lambda: now[0])
+        cache.put("a", ["ra"])
+        now[0] = 8.0
+        cache.put("a", ["ra2"])  # re-stamped
+        now[0] = 12.0
+        assert cache.get("a") == ["ra2"]
+
+    def test_fill_ratio(self):
+        cache = RewriteCache(capacity=4)
+        assert cache.fill_ratio == 0.0
+        cache.put("a", ["r"])
+        assert cache.fill_ratio == pytest.approx(0.25)
+        unbounded = RewriteCache()
+        unbounded.put("a", ["r"])
+        assert unbounded.fill_ratio == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RewriteCache(shards=0)
+        with pytest.raises(ValueError):
+            RewriteCache(capacity=2, shards=4)
+        with pytest.raises(ValueError):
+            RewriteCache(ttl_seconds=0)
+
+    def test_unbounded_default_never_evicts(self):
+        cache = RewriteCache()
+        for i in range(500):
+            cache.put(f"q{i}", ["r"])
+        assert len(cache) == 500
+        assert cache.stats.evictions == 0
+
+
+class TestServingStatsPercentiles:
+    def test_p99_nearest_rank(self):
+        # nearest-rank: ceil(0.99 * 100) = 100th smallest -> index 98 -> 99.0,
+        # not the old int(0.99*n) indexing that returned the maximum.
+        stats = ServingStats(latencies_ms=[float(i) for i in range(1, 101)])
+        assert stats.p99_latency_ms() == 99.0
+        assert stats.p95_latency_ms() == 95.0
+        assert stats.p50_latency_ms() == 50.0
+
+    def test_single_sample(self):
+        stats = ServingStats(latencies_ms=[7.0])
+        assert stats.p50_latency_ms() == 7.0
+        assert stats.p99_latency_ms() == 7.0
+
+    def test_empty(self):
+        stats = ServingStats()
+        assert stats.p50_latency_ms() == 0.0
+        assert stats.p99_latency_ms() == 0.0
+
+    def test_invalid_quantile(self):
+        stats = ServingStats(latencies_ms=[1.0])
+        with pytest.raises(ValueError):
+            stats.percentile_latency_ms(0.0)
+        with pytest.raises(ValueError):
+            stats.percentile_latency_ms(1.5)
+
+
+class TestServeBatch:
+    def test_mixed_batch_tier_accounting(self):
+        cache = RewriteCache()
+        cache.put("head", ["cached rewrite"])
+        fallback = BatchStubRewriter({"tail": ["model rewrite"]})
+        pipeline = ServingPipeline(cache, fallback)
+        served = pipeline.serve_batch(["head", "tail", "unknown"])
+        assert [s.source for s in served] == ["cache", "model", "none"]
+        assert [s.query for s in served] == ["head", "tail", "unknown"]
+        stats = pipeline.stats
+        assert stats.cache_served == 1
+        assert stats.model_served == 1
+        assert stats.unserved == 1
+        assert stats.total == 3
+        assert stats.batches == 1
+        assert len(stats.latencies_ms) == 3
+
+    def test_misses_share_one_batched_call(self):
+        fallback = BatchStubRewriter({"t1": ["r1"], "t2": ["r2"]})
+        pipeline = ServingPipeline(RewriteCache(), fallback)
+        pipeline.serve_batch(["t1", "t2"])
+        assert fallback.batches == [["t1", "t2"]]
+        assert fallback.calls == 2  # via the batch path only
+
+    def test_cache_hits_bypass_model(self):
+        cache = RewriteCache()
+        cache.put("head", ["cached"])
+        fallback = BatchStubRewriter({"head": ["model"]})
+        pipeline = ServingPipeline(cache, fallback)
+        served = pipeline.serve_batch(["head", "head"])
+        assert fallback.batches == []
+        assert all(s.source == "cache" for s in served)
+
+    def test_falls_back_to_per_query_rewrite(self):
+        fallback = StubRewriter({"t": ["r"]})  # no rewrite_batch
+        pipeline = ServingPipeline(RewriteCache(), fallback)
+        served = pipeline.serve_batch(["t", "t"])
+        assert [s.source for s in served] == ["model", "model"]
+        assert fallback.calls == 2
+
+    def test_max_rewrites_enforced(self):
+        cache = RewriteCache()
+        cache.put("q", ["a", "b", "c", "d"])
+        fallback = BatchStubRewriter({"t": ["1", "2", "3", "4"]})
+        pipeline = ServingPipeline(cache, fallback, ServingConfig(max_rewrites=2))
+        served = pipeline.serve_batch(["q", "t"])
+        assert len(served[0].rewrites) == 2
+        assert len(served[1].rewrites) == 2
+
+    def test_empty_batch(self):
+        pipeline = ServingPipeline(RewriteCache(), StubRewriter())
+        assert pipeline.serve_batch([]) == []
+        assert pipeline.stats.total == 0
+        assert pipeline.stats.batches == 0
+
+    def test_no_fallback_counts_unserved(self):
+        pipeline = ServingPipeline(RewriteCache(), None)
+        served = pipeline.serve_batch(["a", "b"])
+        assert all(s.source == "none" for s in served)
+        assert pipeline.stats.unserved == 2
+
+    def test_model_writeback_promotes_and_respects_capacity(self):
+        cache = RewriteCache(capacity=2, shards=1)
+        fallback = BatchStubRewriter({f"t{i}": [f"r{i}"] for i in range(6)})
+        pipeline = ServingPipeline(
+            cache, fallback, ServingConfig(cache_model_results=True)
+        )
+        pipeline.serve_batch([f"t{i}" for i in range(6)])
+        assert len(cache) <= 2
+        assert pipeline.stats.cache_evictions > 0
+        # The promoted entries now hit the cache tier.
+        served = pipeline.serve_batch(["t5"])
+        assert served[0].source == "cache"
+
+    def test_cache_gauges_threaded_into_stats(self):
+        cache = RewriteCache(capacity=4, shards=2)
+        pipeline = ServingPipeline(cache, None)
+        cache.put("a", ["r"])
+        pipeline.serve_batch(["a"])
+        stats = pipeline.stats
+        assert stats.cache_fill_ratio == pytest.approx(0.25)
+        assert sum(stats.cache_shard_occupancy) == 1
+        assert len(stats.cache_shard_occupancy) == 2
 
 
 class TestServingPipeline:
