@@ -20,7 +20,10 @@ Exported symbols:
   with optional TTL and per-shard eviction/occupancy counters.
 * :class:`ServingPipeline` — cache-first serving with a model fallback;
   ``serve`` handles one request, ``serve_batch`` partitions a batch into
-  cache hits and one batched model-tier decode for the misses.
+  cache hits and one batched model-tier decode for the misses, and
+  ``search_batch`` feeds the batch's rewrites straight into a retrieval
+  engine (``repro.search``) for the end-to-end rewrite-then-retrieve
+  path (:class:`ServedSearch`).
 * :class:`ServingConfig` / :class:`ServingStats` / :class:`ServedRewrite`
   — serving knobs, tier counters + latency percentiles (p50/p95/p99,
   nearest-rank) + cache gauges, and the per-request outcome record.
@@ -33,6 +36,7 @@ from repro.core.rewriter import CyclicRewriter, DirectRewriter, RewriteResult, R
 from repro.core.cache import CacheStats, RewriteCache
 from repro.core.serving import (
     ServedRewrite,
+    ServedSearch,
     ServingConfig,
     ServingPipeline,
     ServingStats,
@@ -50,6 +54,7 @@ __all__ = [
     "ServingConfig",
     "ServingStats",
     "ServedRewrite",
+    "ServedSearch",
     "LMRewriter",
     "LMRewriterConfig",
     "build_lm_sequences",

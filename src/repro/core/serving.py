@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.cache import RewriteCache
+from repro.text import tokenize
 
 
 @dataclass
@@ -66,12 +67,37 @@ class ServedRewrite:
 
 
 @dataclass
+class ServedSearch:
+    """Outcome of one end-to-end request: rewrite tiers plus retrieval.
+
+    ``latency_ms`` covers the whole request (cache lookup, amortized
+    model decode if any, and the retrieval fan-out)."""
+
+    served: ServedRewrite
+    doc_ids: list[int]
+    postings_accessed: int
+    latency_ms: float
+
+    @property
+    def query(self) -> str:
+        return self.served.query
+
+    @property
+    def rewrites(self) -> list[str]:
+        return self.served.rewrites
+
+
+@dataclass
 class ServingStats:
     cache_served: int = 0
     model_served: int = 0
     unserved: int = 0
     budget_breaches: int = 0
     batches: int = 0
+    #: end-to-end retrievals performed through :meth:`ServingPipeline.search_batch`
+    search_requests: int = 0
+    #: cumulative postings touched by those retrievals (paper's CPU-cost proxy)
+    search_postings_accessed: int = 0
     latencies_ms: list[float] = field(default_factory=list)
     #: cache-tier gauges, mirrored from the bounded cache after each serve
     cache_evictions: int = 0
@@ -113,15 +139,22 @@ class ServingPipeline:
         cache: RewriteCache | None,
         fallback_rewriter,
         config: ServingConfig | None = None,
+        search_engine=None,
     ):
         """``fallback_rewriter`` is any object with
         ``rewrite(query, k) -> list[RewriteResult]`` (typically a
         :class:`~repro.core.rewriter.DirectRewriter` over a hybrid model);
         pass None to serve cache-only.  ``serve_batch`` additionally uses
-        ``rewrite_batch(queries, k)`` when the rewriter provides it."""
+        ``rewrite_batch(queries, k)`` when the rewriter provides it.
+
+        ``search_engine`` is any object with ``search(query, rewrites) ->
+        SearchOutcome`` (a :class:`~repro.search.SearchEngine` or
+        :class:`~repro.search.ShardedSearchEngine`); it enables
+        :meth:`search_batch`, the end-to-end rewrite-then-retrieve path."""
         self.cache = cache
         self.fallback = fallback_rewriter
         self.config = config or ServingConfig()
+        self.search_engine = search_engine
         self.stats = ServingStats()
 
     # -- internal ------------------------------------------------------------
@@ -239,4 +272,47 @@ class ServingPipeline:
         if queries:
             self.stats.batches += 1
         self._sync_cache_gauges()
+        return results
+
+    def search_batch(self, queries: list[str]) -> list[ServedSearch]:
+        """Serve a batch end to end: rewrite tiers, then sharded retrieval.
+
+        ``serve_batch`` produces each request's rewrites (cache tier or
+        one stacked model decode), and every request is then retrieved
+        through the configured search engine as ``original query +
+        rewrites`` — the Section III-H merged-tree path.  Queries that
+        tokenize to nothing and produced no rewrites come back with an
+        empty candidate list instead of failing the batch.
+        """
+        if self.search_engine is None:
+            raise ValueError(
+                "search_batch needs a search engine; construct the pipeline "
+                "with search_engine=SearchEngine(catalog) or a ShardedSearchEngine"
+            )
+        served_batch = self.serve_batch(queries)
+        results: list[ServedSearch] = []
+        for served in served_batch:
+            started = time.perf_counter()
+            # Only search when something actually tokenizes: a rewrite list
+            # of punctuation-only strings must not fail the whole batch.
+            # Short-circuits on the query, so the common case pays one
+            # extra tokenize and never touches the rewrites.
+            if tokenize(served.query) or any(tokenize(r) for r in served.rewrites):
+                outcome = self.search_engine.search(served.query, served.rewrites)
+                doc_ids = outcome.doc_ids
+                postings = outcome.postings_accessed
+            else:
+                doc_ids = []
+                postings = 0
+            retrieval_ms = (time.perf_counter() - started) * 1000.0
+            self.stats.search_requests += 1
+            self.stats.search_postings_accessed += postings
+            results.append(
+                ServedSearch(
+                    served=served,
+                    doc_ids=doc_ids,
+                    postings_accessed=postings,
+                    latency_ms=served.latency_ms + retrieval_ms,
+                )
+            )
         return results

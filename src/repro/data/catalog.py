@@ -215,7 +215,13 @@ class CatalogConfig:
 
 @dataclass
 class Catalog:
-    """The generated product set plus lookup indices."""
+    """The generated product set plus lookup indices.
+
+    No longer build-once: :meth:`add_product` / :meth:`remove_product`
+    keep every lookup structure in sync, so a live index layered on top
+    (``repro.search.ShardedIndex``) can follow catalog churn instead of
+    being rebuilt.
+    """
 
     products: list[Product]
     by_category: dict[str, list[Product]] = field(default_factory=dict)
@@ -224,15 +230,50 @@ class Catalog:
         if not self.by_category:
             for product in self.products:
                 self.by_category.setdefault(product.category, []).append(product)
+        self._by_id: dict[int, Product] = {p.product_id: p for p in self.products}
 
     def __len__(self) -> int:
         return len(self.products)
 
+    def __contains__(self, product_id: int) -> bool:
+        return product_id in self._by_id
+
     def get(self, product_id: int) -> Product:
-        return self.products[product_id]
+        return self._by_id[product_id]
 
     def categories(self) -> list[str]:
         return sorted(self.by_category)
+
+    # -- incremental maintenance ----------------------------------------------
+    def add_product(self, product: Product) -> None:
+        if product.product_id in self._by_id:
+            raise ValueError(f"product {product.product_id} already in catalog")
+        self.products.append(product)
+        self.by_category.setdefault(product.category, []).append(product)
+        self._by_id[product.product_id] = product
+
+    def remove_product(self, product_id: int) -> Product:
+        product = self._by_id.pop(product_id, None)
+        if product is None:
+            raise KeyError(f"product {product_id} not in catalog")
+        # Scan by id (cheap int compare) rather than list.remove's
+        # field-by-field dataclass equality; order is preserved.
+        _delete_by_id(self.products, product_id)
+        siblings = self.by_category[product.category]
+        _delete_by_id(siblings, product_id)
+        if not siblings:
+            del self.by_category[product.category]
+        return product
+
+    def next_product_id(self) -> int:
+        return max(self._by_id, default=-1) + 1
+
+
+def _delete_by_id(products: list[Product], product_id: int) -> None:
+    for at, candidate in enumerate(products):
+        if candidate.product_id == product_id:
+            del products[at]
+            return
 
 
 class CatalogGenerator:
@@ -249,6 +290,28 @@ class CatalogGenerator:
             for _ in range(self.config.products_per_category):
                 products.append(self._sample_product(spec, len(products), rng))
         return Catalog(products=products)
+
+    def sample_products(
+        self,
+        count: int,
+        rng: np.random.Generator | None = None,
+        start_id: int = 0,
+    ) -> list[Product]:
+        """Sample ``count`` products round-robin over the categories.
+
+        Unlike :meth:`generate` this is not tied to a per-category quota,
+        so callers can stream arbitrarily many products — growing a
+        catalog incrementally, or building the ≥50k-document corpora the
+        retrieval-scale benchmark needs.
+        """
+        rng = rng or np.random.default_rng(self.config.seed)
+        names = sorted(CATEGORY_SPECS)
+        return [
+            self._sample_product(
+                CATEGORY_SPECS[names[i % len(names)]], start_id + i, rng
+            )
+            for i in range(count)
+        ]
 
     def _sample_product(
         self, spec: CategorySpec, product_id: int, rng: np.random.Generator

@@ -24,6 +24,7 @@ from repro.experiments import (
     fig8,
     fig9,
     lm_exploration,
+    retrieval_scale,
     serving,
     serving_batched,
     table1,
@@ -49,6 +50,7 @@ RUNNERS = {
     "fig9": fig9.run,
     "serving": serving.run,
     "serving_batched": serving_batched.run,
+    "retrieval_scale": retrieval_scale.run,
     "ablation_lambda": ablations.lambda_sweep,
     "ablation_diversity": ablations.decoder_diversity,
     "ablation_warmup": ablations.warmup_sensitivity,

@@ -1,0 +1,226 @@
+"""Retrieval at catalog scale — the engine behind the Section III-H story.
+
+The paper's system-cost claims (Figure 5, Table V) assume the retrieval
+layer itself can keep up with production traffic.  This experiment builds
+a ≥50k-document synthetic catalog and replays the same rewrite-augmented
+queries through two implementations:
+
+* **seed path** — the pre-rewrite implementation, reproduced verbatim
+  here: one hash set materialized per term, set-AND per query, set-union
+  across rewrites, then a full O(n log n) sort of every candidate;
+* **engine path** — the current ``repro.search`` engine: one merged
+  syntax tree (Section III-H), galloping sorted-postings intersection,
+  vectorized BM25 scoring, and a bounded-heap top-k.
+
+Both paths score with the same BM25 formula, so their top-k lists must be
+*identical* — the speedup is pure mechanics, not a relevance change.  The
+experiment also fans the same queries out over a 4-shard
+:class:`~repro.search.ShardedIndex` (global-statistics ranking, so the
+merged top-k again matches the unsharded engine exactly), exercises
+incremental ``add_document``/``remove_document`` churn, and re-checks the
+Figure 5 invariant that the merged tree's postings cost never exceeds the
+separate trees'.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.catalog import CATEGORY_SPECS, CatalogGenerator, Catalog, CatalogConfig
+from repro.experiments.rendering import ascii_table
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scale import ExperimentScale, SMALL
+from repro.search import BM25Ranker, SearchConfig, SearchEngine, ShardedSearchEngine
+from repro.text import tokenize
+
+#: corpus floor — the acceptance bar is "a ≥50k-doc synthetic catalog"
+TARGET_DOCS = 50_000
+NUM_QUERIES = 30
+TOP_K = 100
+TIMING_ROUNDS = 3
+NUM_SHARDS = 4
+CHURN_DOCS = 500
+
+
+def _build_catalog(scale: ExperimentScale) -> Catalog:
+    generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
+    rng = np.random.default_rng(scale.seed)
+    return Catalog(products=generator.sample_products(TARGET_DOCS, rng))
+
+
+def _build_queries(scale: ExperimentScale) -> list[tuple[str, list[str]]]:
+    """Rewrite-augmented requests over the catalog vocabulary.
+
+    Each request is ``brand + canonical-category + feature`` with two
+    rewrites that keep the brand/category tokens and swap the feature —
+    the token-sharing shape that makes Section III-H's merged tree pay.
+    """
+    rng = np.random.default_rng(scale.seed + 1)
+    names = sorted(CATEGORY_SPECS)
+    requests: list[tuple[str, list[str]]] = []
+    for i in range(NUM_QUERIES):
+        spec = CATEGORY_SPECS[names[i % len(names)]]
+        brand = str(rng.choice(spec.brands))
+        features = [str(f) for f in rng.permutation(np.array(spec.features))]
+        base = f"{brand} {' '.join(spec.canonical)}"
+        query = f"{base} {features[0]}"
+        rewrites = [f"{base} {features[1]}", f"{base} {features[2]}"]
+        requests.append((query, rewrites))
+    return requests
+
+
+# -- the seed path, reproduced for comparison --------------------------------
+def _seed_intersect(index, tokens: list[str]) -> set[int]:
+    """Verbatim seed semantics: a ``set(postings)`` per term, cheapest first."""
+    ordered = sorted(set(tokens), key=lambda t: (index.postings_length(t), t))
+    result: set[int] | None = None
+    for token in ordered:
+        postings = set(index.postings(token))
+        result = postings if result is None else result & postings
+        if not result:
+            break
+    return result or set()
+
+
+def _seed_search(index, ranker, query: str, rewrites: list[str], k: int) -> list[int]:
+    """Set-AND per query variant, set-union, score-all, full sort, cap k."""
+    candidates: set[int] = set()
+    for text in [query, *rewrites]:
+        tokens = tokenize(text)
+        if tokens:
+            candidates |= _seed_intersect(index, tokens)
+    query_tokens = tokenize(query)
+    ordered = sorted(
+        candidates,
+        key=lambda doc_id: (-ranker.score_doc(index, query_tokens, doc_id), doc_id),
+    )
+    return ordered[:k]
+
+
+def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
+    catalog = _build_catalog(scale)
+    requests = _build_queries(scale)
+    config = SearchConfig(max_candidates=TOP_K, ranker="bm25")
+    engine = SearchEngine(catalog, config)
+    ranker: BM25Ranker = engine.ranker
+
+    # Warm-up pass: also checks result parity between the two paths.
+    matches = 0
+    candidate_counts: list[int] = []
+    for query, rewrites in requests:
+        expected = _seed_search(engine.index, ranker, query, rewrites, TOP_K)
+        outcome = engine.search(query, rewrites)
+        candidate_counts.append(len(outcome.doc_ids))
+        if outcome.doc_ids == expected:
+            matches += 1
+    topk_match_rate = matches / len(requests)
+
+    started = time.perf_counter()
+    for _ in range(TIMING_ROUNDS):
+        for query, rewrites in requests:
+            _seed_search(engine.index, ranker, query, rewrites, TOP_K)
+    seed_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(TIMING_ROUNDS):
+        for query, rewrites in requests:
+            engine.search(query, rewrites)
+    engine_seconds = time.perf_counter() - started
+    total_queries = TIMING_ROUNDS * len(requests)
+
+    # Figure 5 invariant at scale: merged tree never costs more postings.
+    merged_postings = 0
+    separate_postings = 0
+    for query, rewrites in requests:
+        costs = engine.compare_costs(query, rewrites)
+        merged_postings += int(costs["merged_postings"])
+        separate_postings += int(costs["separate_postings"])
+
+    # Shard fan-out: merged top-k must equal the unsharded engine's.
+    sharded = ShardedSearchEngine(
+        catalog, config, num_shards=NUM_SHARDS, parallel=True
+    )
+    unsharded_topk = [engine.search(q, rw).doc_ids for q, rw in requests]
+    started = time.perf_counter()
+    sharded_topk = [sharded.search(q, rw).doc_ids for q, rw in requests]
+    sharded_seconds = time.perf_counter() - started
+    sharded_matches = sum(a == b for a, b in zip(sharded_topk, unsharded_topk))
+
+    # Incremental churn: the catalog is no longer build-once.
+    generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
+    churn_rng = np.random.default_rng(scale.seed + 2)
+    fresh = generator.sample_products(
+        CHURN_DOCS, churn_rng, start_id=catalog.next_product_id()
+    )
+    for product in fresh:
+        catalog.add_product(product)
+        sharded.add_document(product.product_id, product.title_tokens)
+    for product in fresh[: CHURN_DOCS // 2]:
+        catalog.remove_product(product.product_id)
+        sharded.remove_document(product.product_id)
+    probe = fresh[-1]
+    probe_hit = probe.product_id in sharded.search(probe.title).doc_ids
+    docs_after_churn = len(sharded.index)
+    sharded.close()
+
+    measured = {
+        "docs_indexed": len(engine.index),
+        "num_queries": len(requests),
+        "top_k": TOP_K,
+        "mean_candidates": float(np.mean(candidate_counts)),
+        "seed_ms_per_query": seed_seconds * 1000.0 / total_queries,
+        "engine_ms_per_query": engine_seconds * 1000.0 / total_queries,
+        "speedup": seed_seconds / engine_seconds,
+        "topk_match_rate": topk_match_rate,
+        "merged_postings": merged_postings,
+        "separate_postings": separate_postings,
+        "postings_ratio": merged_postings / max(1, separate_postings),
+        "num_shards": NUM_SHARDS,
+        "sharded_match_rate": sharded_matches / len(requests),
+        "sharded_ms_per_query": sharded_seconds * 1000.0 / len(requests),
+        "churn_docs_added": CHURN_DOCS,
+        "churn_docs_removed": CHURN_DOCS // 2,
+        "docs_after_churn": docs_after_churn,
+        "churn_probe_found": bool(probe_hit),
+    }
+    rows = [
+        ["seed path (sets + full sort)", f"{measured['seed_ms_per_query']:.2f} ms/q", "-"],
+        [
+            "engine (gallop + heap top-k)",
+            f"{measured['engine_ms_per_query']:.2f} ms/q",
+            f"{measured['speedup']:.1f}x",
+        ],
+        [
+            f"sharded fan-out ({NUM_SHARDS} shards)",
+            f"{measured['sharded_ms_per_query']:.2f} ms/q",
+            f"match {measured['sharded_match_rate']:.0%}",
+        ],
+        [
+            "merged vs separate postings",
+            f"{merged_postings} vs {separate_postings}",
+            f"ratio {measured['postings_ratio']:.3f}",
+        ],
+        [
+            "incremental churn",
+            f"+{CHURN_DOCS}/-{CHURN_DOCS // 2} docs",
+            f"{docs_after_churn} indexed, probe {'hit' if probe_hit else 'MISS'}",
+        ],
+    ]
+    rendered = ascii_table(["path", "latency", "vs seed"], rows, float_format="{:.3f}")
+    return ExperimentResult(
+        experiment_id="retrieval_scale",
+        title="Sharded top-k retrieval at catalog scale (Section III-H engine)",
+        measured=measured,
+        paper={
+            "claim": "tree merging keeps multi-query retrieval near single-query cost",
+            "scale": "production index behind the serving tier",
+        },
+        rendered=rendered,
+        notes=(
+            "Both paths rank with the same BM25 scores, so top-k lists are "
+            "identical; the speedup is galloping intersection + bounded-heap "
+            "selection vs per-term sets + full sort."
+        ),
+    )

@@ -1,13 +1,32 @@
-"""Inverted-index retrieval substrate.
+"""Sharded top-k retrieval substrate.
 
-Reproduces the paper's candidate-retrieval stage: documents (item titles)
+Reproduces the paper's candidate-retrieval stage — documents (item titles)
 indexed by term, queries compiled into AND/OR syntax trees, and the
 Section III-H optimization that merges the original query and all rewritten
-queries into a *single* tree so multi-query retrieval costs barely more
-than one-query retrieval (Figure 5).
+queries into a *single* tree (Figure 5) — and scales it into a
+production-shaped engine:
+
+* sorted postings with **galloping intersection**
+  (:mod:`repro.search.postings`), no intermediate set materialization;
+* pluggable **top-k ranking** behind the :class:`Ranker` protocol —
+  term-overlap baseline and BM25, both heap-bounded
+  (:mod:`repro.search.ranking`);
+* a **ShardedIndex** of single-writer shards with parallel fan-out search,
+  global-statistics ranking, and incremental ``add_document`` /
+  ``remove_document`` (:mod:`repro.search.sharded`).
+
+``docs/RETRIEVAL.md`` documents the layout, the postings cost model, and
+how Section III-H maps onto all of this.
 """
 
-from repro.search.inverted_index import InvertedIndex, RetrievalResult
+from repro.search.inverted_index import IndexStats, InvertedIndex, RetrievalResult
+from repro.search.postings import intersect_sorted, union_sorted
+from repro.search.ranking import (
+    BM25Ranker,
+    Ranker,
+    TermOverlapRanker,
+    make_ranker,
+)
 from repro.search.syntax_tree import (
     SyntaxNode,
     TermNode,
@@ -18,10 +37,18 @@ from repro.search.syntax_tree import (
     tree_size,
 )
 from repro.search.engine import SearchEngine, SearchConfig, SearchOutcome
+from repro.search.sharded import ShardedIndex, ShardedOutcome, ShardedSearchEngine
 
 __all__ = [
     "InvertedIndex",
+    "IndexStats",
     "RetrievalResult",
+    "intersect_sorted",
+    "union_sorted",
+    "Ranker",
+    "TermOverlapRanker",
+    "BM25Ranker",
+    "make_ranker",
     "SyntaxNode",
     "TermNode",
     "AndNode",
@@ -32,4 +59,7 @@ __all__ = [
     "SearchEngine",
     "SearchConfig",
     "SearchOutcome",
+    "ShardedIndex",
+    "ShardedOutcome",
+    "ShardedSearchEngine",
 ]

@@ -1,29 +1,37 @@
 """Rewrite-aware search engine over the synthetic catalog.
 
 Wires together tokenization, syntax-tree construction (optionally merged
-per Section III-H), inverted-index retrieval, and a simple term-overlap
-ranker — enough substrate to measure both the retrieval-cost claims
-(Figure 5 / Table-level CPU cost) and the recall gains that drive the
-paper's online metrics (Table VIII).
+per Section III-H), galloping inverted-index retrieval, and pluggable
+top-k ranking (term-overlap baseline or BM25, both heap-bounded) — enough
+substrate to measure both the retrieval-cost claims (Figure 5 /
+Table-level CPU cost) and the recall gains that drive the paper's online
+metrics (Table VIII).
+
+See ``docs/RETRIEVAL.md`` for the full retrieval-layer story (index
+layout, cost model, sharding).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.data.catalog import Catalog
 from repro.search.inverted_index import InvertedIndex
+from repro.search.postings import union_sorted
+from repro.search.ranking import Ranker, make_ranker
 from repro.search.syntax_tree import build_tree, merge_queries, tree_size
 from repro.text import tokenize
 
 
-@dataclass
+@dataclass(frozen=True)
 class SearchConfig:
     #: candidate cap per retrieval (paper: each rewrite adds at most 1,000)
     max_candidates: int = 1000
     #: merge rewrites into one syntax tree (Section III-H) or run one tree
     #: per query (the naive approach the paper rejects)
     merge_trees: bool = True
+    #: ranking strategy: "overlap" (seed baseline) or "bm25"
+    ranker: str = "overlap"
 
 
 @dataclass
@@ -42,14 +50,31 @@ class SearchOutcome:
 
 
 class SearchEngine:
-    """Inverted-index retrieval over a product catalog."""
+    """Inverted-index retrieval over a product catalog.
 
-    def __init__(self, catalog: Catalog, config: SearchConfig | None = None):
+    ``index`` lets several engines share one built index (used by
+    :meth:`compare_costs` to spin up throwaway per-config engines without
+    re-indexing the catalog); ``ranker`` overrides the config's ranker
+    string with a concrete :class:`~repro.search.ranking.Ranker` instance.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: SearchConfig | None = None,
+        *,
+        index: InvertedIndex | None = None,
+        ranker: Ranker | None = None,
+    ):
         self.catalog = catalog
         self.config = config or SearchConfig()
-        self.index = InvertedIndex()
-        for product in catalog.products:
-            self.index.add_document(product.product_id, product.title_tokens)
+        self.ranker = ranker or make_ranker(self.config.ranker)
+        if index is not None:
+            self.index = index
+        else:
+            self.index = InvertedIndex()
+            for product in catalog.products:
+                self.index.add_document(product.product_id, product.title_tokens)
 
     # -- retrieval -------------------------------------------------------------
     def search(self, query: str, rewrites: list[str] | None = None) -> SearchOutcome:
@@ -62,24 +87,25 @@ class SearchEngine:
 
         if self.config.merge_trees:
             tree = merge_queries(queries)
-            result = tree.evaluate(self.index)
+            docs, cost = tree.evaluate_postings(self.index)
             nodes = tree_size(tree)
             num_trees = 1
-            docs = result.doc_ids
-            cost = result.postings_accessed
         else:
-            docs = set()
+            branches = []
             cost = 0
             nodes = 0
             for q in queries:
                 tree = build_tree(q)
-                result = tree.evaluate(self.index)
-                docs |= result.doc_ids
-                cost += result.postings_accessed
+                branch, branch_cost = tree.evaluate_postings(self.index)
+                branches.append(branch)
+                cost += branch_cost
                 nodes += tree_size(tree)
+            docs = union_sorted(branches)
             num_trees = len(queries)
 
-        ranked = self._rank(queries[0], docs)[: self.config.max_candidates]
+        ranked = self.ranker.rank(
+            self.index, queries[0], docs, self.config.max_candidates
+        )
         return SearchOutcome(
             query=query,
             rewrites=list(rewrites),
@@ -89,36 +115,29 @@ class SearchEngine:
             num_trees=num_trees,
         )
 
-    # -- ranking -----------------------------------------------------------------
-    def _rank(self, query_tokens: list[str], doc_ids: set[int]) -> list[int]:
-        """Order candidates by query-term overlap with the title (tf-style),
-        breaking ties by doc id for determinism."""
-        query_set = set(query_tokens)
-
-        def score(doc_id: int) -> tuple[int, int]:
-            title = self.index.document(doc_id)
-            overlap = sum(1 for t in title if t in query_set)
-            return (-overlap, doc_id)
-
-        return sorted(doc_ids, key=score)
-
     # -- cost comparison (Section III-H experiment) ---------------------------------
     def compare_costs(self, query: str, rewrites: list[str]) -> dict[str, float]:
-        """Merged-tree vs per-query-trees costs for the same request."""
-        merged_engine_cfg = SearchConfig(
-            max_candidates=self.config.max_candidates, merge_trees=True
+        """Merged-tree vs per-query-trees costs for the same request.
+
+        Two throwaway engines share this engine's index and ranker but
+        carry their own configs, so a concurrent :meth:`search` on *this*
+        engine can never observe a temporarily swapped config (the seed
+        mutated ``self.config`` in place here).
+        """
+        merged_engine = SearchEngine(
+            self.catalog,
+            replace(self.config, merge_trees=True),
+            index=self.index,
+            ranker=self.ranker,
         )
-        separate_engine_cfg = SearchConfig(
-            max_candidates=self.config.max_candidates, merge_trees=False
+        separate_engine = SearchEngine(
+            self.catalog,
+            replace(self.config, merge_trees=False),
+            index=self.index,
+            ranker=self.ranker,
         )
-        saved_config = self.config
-        try:
-            self.config = merged_engine_cfg
-            merged = self.search(query, rewrites)
-            self.config = separate_engine_cfg
-            separate = self.search(query, rewrites)
-        finally:
-            self.config = saved_config
+        merged = merged_engine.search(query, rewrites)
+        separate = separate_engine.search(query, rewrites)
         if set(merged.doc_ids) != set(separate.doc_ids):
             raise AssertionError(
                 "merged and separate retrieval disagree — tree merge is unsound"

@@ -4,11 +4,34 @@ The cost model counts postings touched per retrieval, which is the quantity
 the paper's Section III-H optimization reduces: evaluating N separate
 syntax trees re-reads shared terms' postings N times, while the merged tree
 reads each term's postings once.
+
+Beyond the seed's build-once dict-of-lists, the index is now a mutable
+retrieval structure sized for the serving tier:
+
+* postings are **sorted doc-id vectors** (with parallel term-frequency
+  vectors), so AND queries run as galloping intersections
+  (:mod:`repro.search.postings`) that never materialize intermediate sets;
+* documents can be **added and removed incrementally** — postings stay
+  sorted under out-of-order doc ids via bisection — which is what the
+  sharded index builds on;
+* corpus statistics (document frequency, document length, average length)
+  are maintained online for BM25-style ranking
+  (:mod:`repro.search.ranking`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import bisect
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.postings import (
+    EMPTY_POSTINGS,
+    as_postings_array,
+    intersect_sorted,
+)
 
 
 @dataclass
@@ -19,29 +42,102 @@ class RetrievalResult:
     postings_accessed: int
 
 
+@dataclass(frozen=True)
+class IndexStats:
+    """Corpus-level statistics a ranker needs (BM25's idf and length norm).
+
+    For a :class:`~repro.search.sharded.ShardedIndex` these are the
+    *global* statistics, aggregated over all shards, so per-shard scores
+    stay comparable when shard top-k results are merged.
+    """
+
+    num_docs: int
+    avg_doc_length: float
+    document_frequencies: dict[str, int]
+
+    def document_frequency(self, token: str) -> int:
+        return self.document_frequencies.get(token, 0)
+
+
 class InvertedIndex:
-    """token -> sorted doc-id postings."""
+    """token -> sorted doc-id postings (plus parallel term frequencies)."""
 
     def __init__(self):
         self._postings: dict[str, list[int]] = {}
+        self._tfs: dict[str, list[int]] = {}
         self._docs: dict[int, tuple[str, ...]] = {}
+        self._doc_lengths: dict[int, int] = {}
+        self._total_length = 0
+        # searchsorted wants ndarrays; converting a postings list per query
+        # would dominate, so arrays are cached per token and invalidated on
+        # writes that touch the token.
+        self._array_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     def __len__(self) -> int:
         return len(self._docs)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._docs
 
     @property
     def num_terms(self) -> int:
         return len(self._postings)
 
+    @property
+    def total_doc_length(self) -> int:
+        return self._total_length
+
+    @property
+    def avg_doc_length(self) -> float:
+        return self._total_length / len(self._docs) if self._docs else 0.0
+
+    # -- incremental maintenance ----------------------------------------------
     def add_document(self, doc_id: int, tokens: list[str] | tuple[str, ...]) -> None:
         if doc_id in self._docs:
             raise ValueError(f"document {doc_id} already indexed")
-        self._docs[doc_id] = tuple(tokens)
-        for token in sorted(set(tokens)):
-            self._postings.setdefault(token, []).append(doc_id)
+        tokens = tuple(tokens)
+        self._docs[doc_id] = tokens
+        self._doc_lengths[doc_id] = len(tokens)
+        self._total_length += len(tokens)
+        for token, tf in sorted(Counter(tokens).items()):
+            postings = self._postings.setdefault(token, [])
+            tfs = self._tfs.setdefault(token, [])
+            if not postings or doc_id > postings[-1]:
+                postings.append(doc_id)
+                tfs.append(tf)
+            else:
+                at = bisect.bisect_left(postings, doc_id)
+                postings.insert(at, doc_id)
+                tfs.insert(at, tf)
+            self._array_cache.pop(token, None)
 
+    def remove_document(self, doc_id: int) -> None:
+        if doc_id not in self._docs:
+            raise KeyError(f"document {doc_id} not indexed")
+        tokens = self._docs.pop(doc_id)
+        self._total_length -= self._doc_lengths.pop(doc_id)
+        for token in set(tokens):
+            postings = self._postings[token]
+            at = bisect.bisect_left(postings, doc_id)
+            del postings[at]
+            del self._tfs[token][at]
+            if not postings:
+                del self._postings[token]
+                del self._tfs[token]
+            self._array_cache.pop(token, None)
+
+    # -- lookups ---------------------------------------------------------------
     def document(self, doc_id: int) -> tuple[str, ...]:
         return self._docs[doc_id]
+
+    def doc_length(self, doc_id: int) -> int:
+        return self._doc_lengths[doc_id]
+
+    def doc_length_array(self, doc_ids: np.ndarray) -> np.ndarray:
+        lengths = self._doc_lengths
+        return np.fromiter(
+            (lengths[d] for d in doc_ids.tolist()), dtype=np.float64, count=doc_ids.size
+        )
 
     def postings(self, token: str) -> list[int]:
         """The postings list for ``token`` (empty if unseen)."""
@@ -50,6 +146,49 @@ class InvertedIndex:
     def postings_length(self, token: str) -> int:
         return len(self._postings.get(token, ()))
 
+    def document_frequency(self, token: str) -> int:
+        return self.postings_length(token)
+
+    def term_frequency(self, doc_id: int, token: str) -> int:
+        postings = self._postings.get(token)
+        if not postings:
+            return 0
+        at = bisect.bisect_left(postings, doc_id)
+        if at < len(postings) and postings[at] == doc_id:
+            return self._tfs[token][at]
+        return 0
+
+    def postings_array(self, token: str) -> np.ndarray:
+        """Sorted doc-id vector for ``token`` (cached, read-only)."""
+        return self._arrays(token)[0]
+
+    def tf_array(self, token: str) -> np.ndarray:
+        """Term-frequency vector parallel to :meth:`postings_array`."""
+        return self._arrays(token)[1]
+
+    def _arrays(self, token: str) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._array_cache.get(token)
+        if cached is None:
+            postings = self._postings.get(token)
+            if not postings:
+                return EMPTY_POSTINGS, EMPTY_POSTINGS
+            cached = (
+                as_postings_array(postings),
+                np.asarray(self._tfs[token], dtype=np.int64),
+            )
+            self._array_cache[token] = cached
+        return cached
+
+    def all_doc_ids(self) -> np.ndarray:
+        return as_postings_array(sorted(self._docs))
+
+    def stats(self) -> IndexStats:
+        return IndexStats(
+            num_docs=len(self._docs),
+            avg_doc_length=self.avg_doc_length,
+            document_frequencies={t: len(p) for t, p in self._postings.items()},
+        )
+
     # -- primitive retrievals (each reports its own cost) ----------------------
     def lookup(self, token: str) -> RetrievalResult:
         postings = self.postings(token)
@@ -57,18 +196,27 @@ class InvertedIndex:
 
     def intersect(self, tokens: list[str]) -> RetrievalResult:
         """AND of term postings, cheapest-first to keep cost low."""
+        doc_ids, cost = self.intersect_postings(tokens)
+        return RetrievalResult(doc_ids=set(doc_ids.tolist()), postings_accessed=cost)
+
+    def intersect_postings(self, tokens: list[str]) -> tuple[np.ndarray, int]:
+        """Galloping AND over sorted postings; never builds a per-term set.
+
+        Terms run cheapest-first, and the loop exits as soon as the running
+        candidate vector is empty — before touching the remaining (larger)
+        postings lists.  The cost charged is the length of every postings
+        list actually read, the same accounting as the seed's set-based
+        intersection.
+        """
         if not tokens:
-            return RetrievalResult(doc_ids=set(self._docs), postings_accessed=0)
-        ordered = sorted(set(tokens), key=self.postings_length)
+            return self.all_doc_ids(), 0
+        ordered = sorted(set(tokens), key=lambda t: (self.postings_length(t), t))
         cost = 0
-        result: set[int] | None = None
+        result: np.ndarray | None = None
         for token in ordered:
-            postings = self.postings(token)
-            cost += len(postings)
-            if result is None:
-                result = set(postings)
-            else:
-                result &= set(postings)
-            if not result:
+            postings = self.postings_array(token)
+            cost += postings.size
+            result = postings if result is None else intersect_sorted(result, postings)
+            if result.size == 0:
                 break
-        return RetrievalResult(doc_ids=result or set(), postings_accessed=cost)
+        return (result if result is not None else EMPTY_POSTINGS), cost

@@ -1,0 +1,57 @@
+"""Sorted-postings primitives: galloping intersection and k-way union.
+
+Postings lists are kept sorted by doc id, so boolean retrieval reduces to
+ordered-sequence algebra.  Intersection drives from the *smallest* list
+and skip-searches each candidate into the larger list — the galloping
+strategy of production inverted indexes — instead of materializing a hash
+set per term the way the seed implementation did.  Here the skip search
+is batched through :func:`numpy.searchsorted`, which binary-searches the
+whole candidate vector at C speed: the classical gallop's
+``O(|small| · log |large|)`` bound with vectorized constants.
+
+Cost accounting stays a separate concern: these helpers touch only the
+doc ids they are given; callers (``InvertedIndex``, the syntax-tree
+evaluator) charge ``postings_accessed`` per postings list *read*, the
+paper's Section III-H cost model, so the Figure 5 merged-vs-separate
+claims are unaffected by how fast the intersection itself runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: canonical empty postings vector (doc ids are int64 everywhere)
+EMPTY_POSTINGS: np.ndarray = np.empty(0, dtype=np.int64)
+
+
+def as_postings_array(doc_ids) -> np.ndarray:
+    """An int64 doc-id vector from an already-sorted iterable of doc ids."""
+    array = np.asarray(doc_ids, dtype=np.int64)
+    if array.size == 0:
+        return EMPTY_POSTINGS
+    return array
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Galloping AND of two sorted doc-id vectors.
+
+    Drives from the smaller vector and skip-searches it into the larger
+    one; never builds an intermediate set.  Returns a sorted vector.
+    """
+    if a.size == 0 or b.size == 0:
+        return EMPTY_POSTINGS
+    small, large = (a, b) if a.size <= b.size else (b, a)
+    positions = np.searchsorted(large, small)
+    in_range = positions < large.size
+    candidates = small[in_range]
+    return candidates[large[positions[in_range]] == candidates]
+
+
+def union_sorted(lists: list[np.ndarray]) -> np.ndarray:
+    """Deduplicated OR of sorted doc-id vectors, returned sorted."""
+    non_empty = [arr for arr in lists if arr.size]
+    if not non_empty:
+        return EMPTY_POSTINGS
+    if len(non_empty) == 1:
+        return non_empty[0]
+    return np.unique(np.concatenate(non_empty))

@@ -1,0 +1,285 @@
+"""Sharded retrieval: N single-writer index shards with fan-out search.
+
+The single :class:`~repro.search.inverted_index.InvertedIndex` serves the
+paper's figures; the ROADMAP's "heavy traffic" north star needs the shape
+of a production index: documents partitioned across shards that can be
+updated independently (one writer per shard, no global write lock) and
+searched in parallel, with per-shard top-k results merged into a global
+top-k.
+
+Layout and semantics:
+
+* **Partitioning** — ``doc_id % num_shards``, stable and computable by
+  any tier without a routing table.
+* **Single-writer shards** — each shard pairs an ``InvertedIndex`` with
+  its own mutex; ``add_document``/``remove_document`` lock only the owning
+  shard, so writers to different shards never contend.  A search takes
+  each shard's mutex for the duration of that shard's local evaluation,
+  so it never observes a half-applied write; searches across shards still
+  run in parallel, and a write stalls only searches of its own shard.
+* **Fan-out / merge** — a query (plus rewrites) compiles to ONE merged
+  syntax tree (Section III-H applies unchanged per shard), every shard
+  evaluates and ranks its local top-k, and the per-shard ``(score,
+  doc_id)`` heaps merge into the global top-k.  Because every shard ranks
+  against *global* corpus statistics (:meth:`ShardedIndex.stats`), the
+  merged result is identical to ranking an unsharded index.
+* **Cost accounting** — ``postings_accessed`` sums over shards.  A term's
+  postings are split across shards, so the total equals the unsharded
+  cost modulo per-shard early exits, and the merged-tree-vs-separate-trees
+  comparison (Figure 5) carries over shard by shard.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.data.catalog import Catalog
+from repro.search.engine import SearchConfig, SearchOutcome
+from repro.search.inverted_index import IndexStats, InvertedIndex
+from repro.search.postings import union_sorted
+from repro.search.ranking import Ranker, make_ranker
+from repro.search.syntax_tree import build_tree, merge_queries, tree_size
+from repro.text import tokenize
+
+
+@dataclass
+class ShardedOutcome:
+    """Global top-k plus per-shard accounting for one fan-out search."""
+
+    doc_ids: list[int]
+    scores: list[float]
+    postings_accessed: int
+    per_shard_postings: list[int]
+    per_shard_candidates: list[int]
+    tree_nodes: int
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+
+class _Shard:
+    """One single-writer partition: an index plus its mutex."""
+
+    __slots__ = ("index", "lock")
+
+    def __init__(self):
+        self.index = InvertedIndex()
+        self.lock = threading.Lock()
+
+
+class ShardedIndex:
+    """Documents partitioned over N single-writer inverted-index shards."""
+
+    def __init__(self, num_shards: int = 4, *, parallel: bool = True):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.parallel = parallel and num_shards > 1
+        self._shards = [_Shard() for _ in range(num_shards)]
+        self._executor: ThreadPoolExecutor | None = None
+        # Global corpus statistics are maintained incrementally on every
+        # write (O(distinct tokens of the doc)), so interleaved churn and
+        # search never pays a full-vocabulary rescan.
+        self._stats_lock = threading.Lock()
+        self._num_docs = 0
+        self._total_length = 0
+        self._dfs: dict[str, int] = {}
+
+    # -- partitioning ---------------------------------------------------------
+    def shard_of(self, doc_id: int) -> int:
+        return doc_id % self.num_shards
+
+    def shard_sizes(self) -> list[int]:
+        return [len(shard.index) for shard in self._shards]
+
+    def __len__(self) -> int:
+        return sum(self.shard_sizes())
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._shards[self.shard_of(doc_id)].index
+
+    # -- incremental maintenance ----------------------------------------------
+    def add_document(self, doc_id: int, tokens: list[str] | tuple[str, ...]) -> None:
+        tokens = tuple(tokens)
+        shard = self._shards[self.shard_of(doc_id)]
+        with shard.lock:
+            shard.index.add_document(doc_id, tokens)
+        with self._stats_lock:
+            self._num_docs += 1
+            self._total_length += len(tokens)
+            for token in set(tokens):
+                self._dfs[token] = self._dfs.get(token, 0) + 1
+
+    def remove_document(self, doc_id: int) -> None:
+        shard = self._shards[self.shard_of(doc_id)]
+        with shard.lock:
+            tokens = shard.index.document(doc_id)
+            shard.index.remove_document(doc_id)
+        with self._stats_lock:
+            self._num_docs -= 1
+            self._total_length -= len(tokens)
+            for token in set(tokens):
+                remaining = self._dfs[token] - 1
+                if remaining:
+                    self._dfs[token] = remaining
+                else:
+                    del self._dfs[token]
+
+    def document(self, doc_id: int) -> tuple[str, ...]:
+        return self._shards[self.shard_of(doc_id)].index.document(doc_id)
+
+    def stats(self) -> IndexStats:
+        """Global corpus statistics, maintained incrementally.
+
+        The integer total length keeps ``avg_doc_length`` bit-identical to
+        what an unsharded index over the same corpus would compute, which
+        in turn keeps sharded BM25 scores equal to unsharded ones.  The
+        document-frequency table is the live counter dict (rankers only
+        ``.get`` from it), so building the view is O(1), not O(vocabulary).
+        """
+        with self._stats_lock:
+            return IndexStats(
+                num_docs=self._num_docs,
+                avg_doc_length=(
+                    self._total_length / self._num_docs if self._num_docs else 0.0
+                ),
+                document_frequencies=self._dfs,
+            )
+
+    # -- fan-out search --------------------------------------------------------
+    def search(
+        self,
+        queries: list[list[str]],
+        k: int,
+        ranker: Ranker | None = None,
+        merge_trees: bool = True,
+    ) -> ShardedOutcome:
+        """Evaluate ``queries`` (original + rewrites, tokenized) on every
+        shard and merge the per-shard top-k heaps into the global top-k."""
+        queries = [q for q in queries if q]
+        if not queries:
+            raise ValueError("sharded search received no non-empty query")
+        ranker = (ranker or make_ranker("bm25")).with_stats(self.stats())
+
+        if merge_trees:
+            trees = [merge_queries(queries)]
+        else:
+            trees = [build_tree(q) for q in queries]
+        nodes = sum(tree_size(t) for t in trees)
+        query_tokens = list(queries[0])
+
+        def search_shard(shard: _Shard) -> tuple[list[tuple[float, int]], int, int]:
+            # Hold the shard mutex for the local evaluation so a concurrent
+            # writer to this shard can never expose a half-applied update.
+            with shard.lock:
+                index = shard.index
+                branches = []
+                cost = 0
+                for tree in trees:
+                    docs, tree_cost = tree.evaluate_postings(index)
+                    branches.append(docs)
+                    cost += tree_cost
+                candidates = union_sorted(branches)
+                top = ranker.rank_scored(index, query_tokens, candidates, k)
+            return top, cost, int(candidates.size)
+
+        if self.parallel:
+            executor = self._ensure_executor()
+            shard_results = list(executor.map(search_shard, self._shards))
+        else:
+            shard_results = [search_shard(shard) for shard in self._shards]
+
+        # Global top-k: k-way merge of the per-shard bounded heaps.
+        merged = heapq.nsmallest(
+            k,
+            (
+                (-score, doc_id)
+                for top, _, _ in shard_results
+                for score, doc_id in top
+            ),
+        )
+        return ShardedOutcome(
+            doc_ids=[doc_id for _, doc_id in merged],
+            scores=[-neg for neg, _ in merged],
+            postings_accessed=sum(cost for _, cost, _ in shard_results),
+            per_shard_postings=[cost for _, cost, _ in shard_results],
+            per_shard_candidates=[n for _, _, n in shard_results],
+            tree_nodes=nodes,
+        )
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_shards, thread_name_prefix="shard-search"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardedSearchEngine:
+    """Drop-in, catalog-facing facade over :class:`ShardedIndex`.
+
+    Mirrors :class:`~repro.search.engine.SearchEngine`'s ``search(query,
+    rewrites)`` surface so the serving pipeline's ``search_batch`` can use
+    either engine, while exposing the sharded index for incremental
+    catalog updates.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: SearchConfig | None = None,
+        *,
+        num_shards: int = 4,
+        parallel: bool = True,
+        ranker: Ranker | None = None,
+    ):
+        self.catalog = catalog
+        self.config = config or SearchConfig(ranker="bm25")
+        self.ranker = ranker or make_ranker(self.config.ranker)
+        self.index = ShardedIndex(num_shards, parallel=parallel)
+        for product in catalog.products:
+            self.index.add_document(product.product_id, product.title_tokens)
+
+    def add_document(self, doc_id: int, tokens) -> None:
+        self.index.add_document(doc_id, tokens)
+
+    def remove_document(self, doc_id: int) -> None:
+        self.index.remove_document(doc_id)
+
+    def search(self, query: str, rewrites: list[str] | None = None) -> SearchOutcome:
+        rewrites = rewrites or []
+        queries = [tokenize(query)] + [tokenize(r) for r in rewrites]
+        queries = [q for q in queries if q]
+        if not queries:
+            raise ValueError("search received an empty query")
+        outcome = self.index.search(
+            queries,
+            k=self.config.max_candidates,
+            ranker=self.ranker,
+            merge_trees=self.config.merge_trees,
+        )
+        return SearchOutcome(
+            query=query,
+            rewrites=list(rewrites),
+            doc_ids=outcome.doc_ids,
+            postings_accessed=outcome.postings_accessed,
+            tree_nodes=outcome.tree_nodes,
+            num_trees=1 if self.config.merge_trees else len(queries),
+        )
+
+    def close(self) -> None:
+        self.index.close()

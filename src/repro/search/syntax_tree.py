@@ -24,13 +24,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.search.inverted_index import InvertedIndex, RetrievalResult
+from repro.search.postings import EMPTY_POSTINGS, intersect_sorted, union_sorted
 
 
 class SyntaxNode:
-    """Base class: a boolean retrieval expression."""
+    """Base class: a boolean retrieval expression.
 
-    def evaluate(self, index: InvertedIndex) -> RetrievalResult:  # pragma: no cover
+    Evaluation runs over **sorted postings vectors** — AND nodes gallop-
+    intersect, OR nodes merge-union — so no intermediate hash set is ever
+    materialized.  :meth:`evaluate` wraps the final vector in the
+    set-based :class:`RetrievalResult` for callers that want membership
+    semantics; the engine's ranking path consumes
+    :meth:`evaluate_postings` directly.
+    """
+
+    def evaluate(self, index: InvertedIndex) -> RetrievalResult:
+        doc_ids, cost = self.evaluate_postings(index)
+        return RetrievalResult(doc_ids=set(doc_ids.tolist()), postings_accessed=cost)
+
+    def evaluate_postings(
+        self, index: InvertedIndex
+    ) -> tuple[np.ndarray, int]:  # pragma: no cover
+        """Sorted doc-id vector plus the postings-access cost to get it."""
         raise NotImplementedError
 
     def size(self) -> int:  # pragma: no cover
@@ -50,8 +68,9 @@ class SyntaxNode:
 class TermNode(SyntaxNode):
     token: str
 
-    def evaluate(self, index: InvertedIndex) -> RetrievalResult:
-        return index.lookup(self.token)
+    def evaluate_postings(self, index: InvertedIndex) -> tuple[np.ndarray, int]:
+        postings = index.postings_array(self.token)
+        return postings, postings.size
 
     def size(self) -> int:
         return 1
@@ -70,21 +89,21 @@ class TermNode(SyntaxNode):
 class AndNode(SyntaxNode):
     children: tuple[SyntaxNode, ...]
 
-    def evaluate(self, index: InvertedIndex) -> RetrievalResult:
+    def evaluate_postings(self, index: InvertedIndex) -> tuple[np.ndarray, int]:
         if not self.children:
-            return RetrievalResult(doc_ids=set(), postings_accessed=0)
-        docs: set[int] | None = None
+            return EMPTY_POSTINGS, 0
+        docs: np.ndarray | None = None
         cost = 0
         # Evaluate cheap/selective children first, so an empty intersection
         # breaks before touching expensive postings.
         ordered = sorted(self.children, key=lambda c: c.cost_estimate(index))
         for child in ordered:
-            result = child.evaluate(index)
-            cost += result.postings_accessed
-            docs = result.doc_ids if docs is None else docs & result.doc_ids
-            if not docs:
+            child_docs, child_cost = child.evaluate_postings(index)
+            cost += child_cost
+            docs = child_docs if docs is None else intersect_sorted(docs, child_docs)
+            if docs.size == 0:
                 break
-        return RetrievalResult(doc_ids=docs or set(), postings_accessed=cost)
+        return (docs if docs is not None else EMPTY_POSTINGS), cost
 
     def size(self) -> int:
         return 1 + sum(c.size() for c in self.children)
@@ -104,14 +123,14 @@ class AndNode(SyntaxNode):
 class OrNode(SyntaxNode):
     children: tuple[SyntaxNode, ...]
 
-    def evaluate(self, index: InvertedIndex) -> RetrievalResult:
-        docs: set[int] = set()
+    def evaluate_postings(self, index: InvertedIndex) -> tuple[np.ndarray, int]:
+        branches: list[np.ndarray] = []
         cost = 0
         for child in self.children:
-            result = child.evaluate(index)
-            cost += result.postings_accessed
-            docs |= result.doc_ids
-        return RetrievalResult(doc_ids=docs, postings_accessed=cost)
+            child_docs, child_cost = child.evaluate_postings(index)
+            cost += child_cost
+            branches.append(child_docs)
+        return union_sorted(branches), cost
 
     def size(self) -> int:
         return 1 + sum(c.size() for c in self.children)

@@ -339,3 +339,99 @@ class TestServingPipeline:
         pipeline = ServingPipeline(cache, None)
         assert pipeline.serve("q").source == "cache"
         assert pipeline.serve("other").source == "none"
+
+
+class StubSearchEngine:
+    """Deterministic retrieval engine: doc ids keyed by sorted token set."""
+
+    def __init__(self):
+        self.calls: list[tuple[str, tuple[str, ...]]] = []
+
+    def search(self, query, rewrites=None):
+        from repro.search import SearchOutcome
+
+        rewrites = rewrites or []
+        self.calls.append((query, tuple(rewrites)))
+        n = len(query.split()) + len(rewrites)
+        return SearchOutcome(
+            query=query,
+            rewrites=list(rewrites),
+            doc_ids=list(range(n)),
+            postings_accessed=10 * n,
+            tree_nodes=n,
+            num_trees=1,
+        )
+
+
+class TestSearchBatch:
+    def test_requires_engine(self):
+        pipeline = ServingPipeline(RewriteCache(), None)
+        with pytest.raises(ValueError):
+            pipeline.search_batch(["q"])
+
+    def test_rewrites_feed_retrieval(self):
+        cache = RewriteCache()
+        cache.put("head query", ["head rewrite one", "head rewrite two"])
+        engine = StubSearchEngine()
+        pipeline = ServingPipeline(cache, None, search_engine=engine)
+        results = pipeline.search_batch(["head query"])
+        assert engine.calls == [("head query", ("head rewrite one", "head rewrite two"))]
+        assert results[0].query == "head query"
+        assert results[0].served.source == "cache"
+        assert results[0].doc_ids
+        assert results[0].postings_accessed > 0
+
+    def test_batch_order_and_tiers(self):
+        cache = RewriteCache()
+        cache.put("hit", ["cached rewrite"])
+        fallback = BatchStubRewriter({"miss": ["model rewrite"]})
+        engine = StubSearchEngine()
+        pipeline = ServingPipeline(cache, fallback, search_engine=engine)
+        results = pipeline.search_batch(["hit", "miss", "nothing"])
+        assert [r.query for r in results] == ["hit", "miss", "nothing"]
+        assert [r.served.source for r in results] == ["cache", "model", "none"]
+        # one stacked decode for the two misses
+        assert fallback.batches == [["miss", "nothing"]]
+        # unserved queries still retrieve on the original query alone
+        assert engine.calls[-1] == ("nothing", ())
+
+    def test_untokenizable_query_yields_empty_docs(self):
+        engine = StubSearchEngine()
+        pipeline = ServingPipeline(RewriteCache(), None, search_engine=engine)
+        results = pipeline.search_batch(["   "])
+        assert results[0].doc_ids == []
+        assert results[0].postings_accessed == 0
+        assert engine.calls == []  # never reached the engine
+
+    def test_stats_accumulate_postings(self):
+        cache = RewriteCache()
+        cache.put("a", ["r1"])
+        cache.put("b", ["r2"])
+        engine = StubSearchEngine()
+        pipeline = ServingPipeline(cache, None, search_engine=engine)
+        pipeline.search_batch(["a", "b"])
+        assert pipeline.stats.search_requests == 2
+        assert pipeline.stats.search_postings_accessed == sum(
+            10 * (len(q.split()) + 1) for q in ("a", "b")
+        )
+
+    def test_latency_includes_retrieval(self):
+        cache = RewriteCache()
+        cache.put("q", ["r"])
+        pipeline = ServingPipeline(cache, None, search_engine=StubSearchEngine())
+        result = pipeline.search_batch(["q"])[0]
+        assert result.latency_ms >= result.served.latency_ms
+
+    def test_end_to_end_with_real_engine(self, tiny_market):
+        from repro.search import SearchConfig, SearchEngine
+
+        engine = SearchEngine(tiny_market.catalog, SearchConfig(max_candidates=10))
+        cache = RewriteCache()
+        cache.put("mobile phone", ["senior mobile phone"])
+        pipeline = ServingPipeline(cache, None, search_engine=engine)
+        result = pipeline.search_batch(["mobile phone"])[0]
+        assert result.served.source == "cache"
+        assert result.doc_ids
+        assert all(
+            tiny_market.catalog.get(d).category == "phone" for d in result.doc_ids
+        )

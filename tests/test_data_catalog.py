@@ -128,3 +128,42 @@ class TestIntentMatching:
         with_feature = Intent(category=product.category, features=(product.features[0],))
         without = Intent(category=product.category, features=("definitely-absent",))
         assert with_feature.matches(product) > without.matches(product)
+
+
+class TestIncrementalCatalog:
+    def test_add_product(self, catalog):
+        generator = CatalogGenerator(CatalogConfig(seed=11))
+        rng = np.random.default_rng(11)
+        new = generator.sample_products(1, rng, start_id=catalog.next_product_id())[0]
+        before = len(catalog)
+        catalog.add_product(new)
+        assert len(catalog) == before + 1
+        assert catalog.get(new.product_id) is new
+        assert new in catalog.by_category[new.category]
+        catalog.remove_product(new.product_id)  # leave module fixture clean
+
+    def test_duplicate_product_id_rejected(self, catalog):
+        existing = catalog.products[0]
+        with pytest.raises(ValueError):
+            catalog.add_product(existing)
+
+    def test_remove_product(self, catalog):
+        generator = CatalogGenerator(CatalogConfig(seed=12))
+        rng = np.random.default_rng(12)
+        new = generator.sample_products(1, rng, start_id=catalog.next_product_id())[0]
+        catalog.add_product(new)
+        removed = catalog.remove_product(new.product_id)
+        assert removed is new
+        assert new.product_id not in catalog
+        assert new not in catalog.by_category.get(new.category, [])
+
+    def test_remove_unknown_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.remove_product(10_000_000)
+
+    def test_sample_products_round_robin_and_ids(self):
+        generator = CatalogGenerator(CatalogConfig(seed=5))
+        rng = np.random.default_rng(5)
+        products = generator.sample_products(25, rng, start_id=100)
+        assert [p.product_id for p in products] == list(range(100, 125))
+        assert len({p.category for p in products}) == len(CATEGORY_SPECS)

@@ -1,0 +1,59 @@
+"""Documentation hygiene: every doc is reachable, every link resolves.
+
+Walks the markdown link graph from README.md and asserts (1) every file
+under ``docs/`` is reachable — no orphaned documentation — and (2) every
+relative link along the way points at a file that exists.  CI runs this
+as the docs check.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+#: markdown inline links: [text](target), ignoring external/anchor targets
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _local_links(markdown_file: pathlib.Path) -> list[pathlib.Path]:
+    links = []
+    for target in _LINK.findall(markdown_file.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append((markdown_file.parent / target.split("#")[0]).resolve())
+    return links
+
+
+def _reachable_from_readme() -> tuple[set[pathlib.Path], list[tuple[str, str]]]:
+    seen: set[pathlib.Path] = set()
+    broken: list[tuple[str, str]] = []
+    frontier = [README.resolve()]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for target in _local_links(current):
+            if not target.exists():
+                broken.append((str(current.relative_to(REPO_ROOT)), str(target)))
+            elif target.suffix == ".md" and target not in seen:
+                frontier.append(target)
+    return seen, broken
+
+
+def test_no_broken_relative_links():
+    _, broken = _reachable_from_readme()
+    assert not broken, f"broken markdown links: {broken}"
+
+
+def test_every_doc_reachable_from_readme():
+    reachable, _ = _reachable_from_readme()
+    docs = set((REPO_ROOT / "docs").glob("**/*.md"))
+    orphaned = {str(p.relative_to(REPO_ROOT)) for p in docs - reachable}
+    assert not orphaned, (
+        f"docs not reachable from README.md: {sorted(orphaned)} — "
+        "link them from README.md or another reachable doc"
+    )

@@ -6,12 +6,15 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.search import (
     AndNode,
+    BM25Ranker,
     InvertedIndex,
     OrNode,
     SearchConfig,
     SearchEngine,
     TermNode,
+    TermOverlapRanker,
     build_tree,
+    make_ranker,
     merge_queries,
     tree_size,
 )
@@ -203,3 +206,174 @@ class TestSearchEngine:
             last = engine.index.document(outcome.doc_ids[-1])
             overlap_last = sum(1 for t in last if t in ("mobile", "phone"))
             assert overlap_first >= overlap_last
+
+
+class TestMergeQueriesEdgeCases:
+    """Section III-H merge soundness on the shapes rewriters actually emit."""
+
+    def _union(self, index, queries):
+        union = set()
+        for query in queries:
+            union |= build_tree(query).evaluate(index).doc_ids
+        return union
+
+    def test_duplicate_rewrites_collapse(self, index):
+        queries = [["red", "men", "sock"], ["red", "men", "anklet"], ["red", "men", "anklet"]]
+        merged = merge_queries(queries)
+        deduped = merge_queries(queries[:2])
+        assert merged.evaluate(index).doc_ids == deduped.evaluate(index).doc_ids
+        # duplicates must not grow the tree
+        assert tree_size(merged) == tree_size(deduped)
+        assert merged.evaluate(index).doc_ids == self._union(index, queries)
+
+    def test_single_token_queries(self, index):
+        queries = [["red"], ["blue"], ["anklet"]]
+        merged = merge_queries(queries)
+        assert merged.evaluate(index).doc_ids == self._union(index, queries)
+
+    def test_single_token_query_mixed_with_multi_token(self, index):
+        queries = [["sock"], ["red", "men", "sock"]]
+        merged = merge_queries(queries)
+        # "sock" subsumes the more specific query: exactly the sock docs
+        assert merged.evaluate(index).doc_ids == {0, 3, 4}
+        assert merged.evaluate(index).doc_ids == self._union(index, queries)
+
+    def test_rewrite_identical_to_query(self, index):
+        query = ["red", "men", "sock"]
+        merged = merge_queries([query, list(query)])
+        single = build_tree(query)
+        assert merged.evaluate(index).doc_ids == single.evaluate(index).doc_ids
+        # an identical rewrite is free: same tree size, same postings cost
+        assert tree_size(merged) == tree_size(single)
+        assert (
+            merged.evaluate(index).postings_accessed
+            == single.evaluate(index).postings_accessed
+        )
+
+    def test_rewrite_reordered_tokens_identical(self, index):
+        """Token order never matters — AND queries are sets of terms."""
+        merged = merge_queries([["red", "men", "sock"], ["sock", "red", "men"]])
+        assert tree_size(merged) == tree_size(build_tree(["red", "men", "sock"]))
+
+    @pytest.mark.parametrize(
+        "queries",
+        [
+            [["red", "men", "sock"], ["red", "men", "anklet"], ["red", "men", "anklet"]],
+            [["red"], ["blue"], ["anklet"]],
+            [["red", "men", "sock"], ["red", "men", "sock"]],
+            [["sock"], ["red", "men", "sock"]],
+        ],
+        ids=["duplicate-rewrite", "single-token", "identical-rewrite", "subsumed"],
+    )
+    def test_merged_equals_separate_doc_sets(self, index, queries):
+        """The merged tree and N separate trees retrieve the same docs."""
+        merged_docs = merge_queries(queries).evaluate(index).doc_ids
+        assert merged_docs == self._union(index, queries)
+
+
+class TestRankers:
+    @pytest.fixture()
+    def market_engine(self, tiny_market):
+        return SearchEngine(tiny_market.catalog, SearchConfig(ranker="bm25"))
+
+    def test_make_ranker_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_ranker("pagerank")
+
+    def test_overlap_rank_matches_scalar_scores(self, index):
+        ranker = TermOverlapRanker()
+        candidates = index.all_doc_ids()
+        ranked = ranker.rank(index, ["red", "men"], candidates, k=5)
+        resorted = sorted(
+            candidates.tolist(),
+            key=lambda d: (-ranker.score_doc(index, ["red", "men"], d), d),
+        )
+        assert ranked == resorted[:5]
+
+    def test_overlap_counts_repeated_title_tokens(self):
+        idx = InvertedIndex()
+        idx.add_document(0, ["phone", "case"])
+        idx.add_document(1, ["phone", "phone", "case"])
+        ranker = TermOverlapRanker()
+        assert ranker.rank(idx, ["phone"], idx.all_doc_ids(), k=2) == [1, 0]
+
+    def test_bm25_vectorized_equals_scalar(self, market_engine):
+        """The vectorized scoring path and the scalar mirror must agree."""
+        engine = market_engine
+        ranker = engine.ranker
+        outcome = engine.search("mobile phone")
+        tokens = ["mobile", "phone"]
+        resorted = sorted(
+            outcome.doc_ids,
+            key=lambda d: (-ranker.score_doc(engine.index, tokens, d), d),
+        )
+        assert outcome.doc_ids == resorted
+
+    def test_bm25_prefers_rarer_term(self):
+        idx = InvertedIndex()
+        for doc_id in range(10):
+            idx.add_document(doc_id, ["common", "filler"])
+        idx.add_document(10, ["common", "rare"])
+        ranker = BM25Ranker()
+        ranked = ranker.rank(idx, ["common", "rare"], idx.all_doc_ids(), k=3)
+        assert ranked[0] == 10
+
+    def test_bm25_bounded_k(self, market_engine):
+        engine = market_engine
+        full = engine.search("mobile phone")
+        capped = SearchEngine(
+            engine.catalog,
+            SearchConfig(ranker="bm25", max_candidates=3),
+            index=engine.index,
+        ).search("mobile phone")
+        assert capped.doc_ids == full.doc_ids[:3]
+
+    def test_rank_empty_candidates(self, index):
+        import numpy as np
+
+        for ranker in (TermOverlapRanker(), BM25Ranker()):
+            assert ranker.rank(index, ["red"], np.empty(0, dtype=np.int64), k=5) == []
+
+
+class TestIncrementalIndex:
+    def test_remove_document(self, index):
+        index.remove_document(0)
+        assert 0 not in index
+        assert index.lookup("sock").doc_ids == {3, 4}
+        assert len(index) == 4
+
+    def test_remove_unknown_raises(self, index):
+        with pytest.raises(KeyError):
+            index.remove_document(99)
+
+    def test_out_of_order_add_keeps_postings_sorted(self):
+        idx = InvertedIndex()
+        for doc_id in (5, 1, 9, 3):
+            idx.add_document(doc_id, ["tok"])
+        assert idx.postings("tok") == [1, 3, 5, 9]
+        assert idx.postings_array("tok").tolist() == [1, 3, 5, 9]
+
+    def test_add_after_remove_roundtrip(self, index):
+        index.remove_document(2)
+        index.add_document(2, ["red", "men", "anklet"])
+        assert index.lookup("anklet").doc_ids == {2}
+
+    def test_stats_track_churn(self):
+        idx = InvertedIndex()
+        idx.add_document(0, ["a", "b"])
+        idx.add_document(1, ["a", "b", "c", "d"])
+        assert idx.stats().num_docs == 2
+        assert idx.avg_doc_length == 3.0
+        idx.remove_document(1)
+        stats = idx.stats()
+        assert stats.num_docs == 1
+        assert stats.document_frequency("c") == 0
+        assert idx.avg_doc_length == 2.0
+
+    def test_array_cache_invalidated_on_write(self):
+        idx = InvertedIndex()
+        idx.add_document(0, ["x"])
+        before = idx.postings_array("x")
+        idx.add_document(1, ["x"])
+        assert idx.postings_array("x").tolist() == [0, 1]
+        assert before.tolist() == [0]  # old snapshot untouched

@@ -1,0 +1,188 @@
+"""Sharded retrieval: partitioning, fan-out/merge parity, incremental churn."""
+
+import threading
+
+import pytest
+
+from repro.search import (
+    BM25Ranker,
+    SearchConfig,
+    SearchEngine,
+    ShardedIndex,
+    ShardedSearchEngine,
+    TermOverlapRanker,
+)
+
+DOCS = {
+    0: ("red", "men", "sock"),
+    1: ("red", "men", "breathable", "low-cut-sock"),
+    2: ("red", "men", "anklet"),
+    3: ("blue", "women", "sock"),
+    4: ("red", "women", "sock"),
+    5: ("blue", "men", "sock", "sock"),
+    6: ("green", "children", "sock"),
+    7: ("red", "children", "anklet"),
+}
+
+
+@pytest.fixture()
+def sharded():
+    index = ShardedIndex(num_shards=3, parallel=False)
+    for doc_id, tokens in DOCS.items():
+        index.add_document(doc_id, tokens)
+    yield index
+    index.close()
+
+
+class TestPartitioning:
+    def test_docs_routed_by_modulo(self, sharded):
+        assert sharded.shard_of(4) == 1
+        assert sharded.shard_sizes() == [3, 3, 2]
+        assert len(sharded) == len(DOCS)
+
+    def test_contains_and_document(self, sharded):
+        assert 5 in sharded
+        assert 99 not in sharded
+        assert sharded.document(5) == ("blue", "men", "sock", "sock")
+
+    def test_duplicate_add_rejected(self, sharded):
+        with pytest.raises(ValueError):
+            sharded.add_document(0, ("again",))
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedIndex(num_shards=0)
+
+
+class TestIncrementalChurn:
+    def test_add_then_search(self, sharded):
+        sharded.add_document(8, ("purple", "sock"))
+        outcome = sharded.search([["purple", "sock"]], k=5)
+        assert outcome.doc_ids == [8]
+
+    def test_remove_then_search(self, sharded):
+        sharded.remove_document(2)
+        outcome = sharded.search([["anklet"]], k=5)
+        assert 2 not in outcome.doc_ids
+        assert 7 in outcome.doc_ids
+
+    def test_remove_unknown_raises(self, sharded):
+        with pytest.raises(KeyError):
+            sharded.remove_document(99)
+
+    def test_stats_aggregate_and_invalidate(self, sharded):
+        stats = sharded.stats()
+        assert stats.num_docs == len(DOCS)
+        assert stats.document_frequency("sock") == 5
+        sharded.remove_document(3)
+        assert sharded.stats().document_frequency("sock") == 4
+
+    def test_concurrent_writers_to_distinct_shards(self):
+        index = ShardedIndex(num_shards=4, parallel=False)
+        errors = []
+
+        def add_range(start):
+            try:
+                for doc_id in range(start, 400, 4):
+                    index.add_document(doc_id, ("tok", f"t{doc_id % 7}"))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=add_range, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(index) == 400
+        assert index.stats().document_frequency("tok") == 400
+        index.close()
+
+
+class TestFanOutMerge:
+    def test_search_matches_union_of_queries(self, sharded):
+        outcome = sharded.search([["anklet"], ["blue"]], k=10, ranker=TermOverlapRanker())
+        assert sorted(outcome.doc_ids) == [2, 3, 5, 7]
+
+    def test_parallel_equals_serial(self):
+        parallel = ShardedIndex(num_shards=3, parallel=True)
+        for doc_id, tokens in DOCS.items():
+            parallel.add_document(doc_id, tokens)
+        serial_outcome = None
+        with parallel:
+            queries = [["red", "men", "sock"], ["red", "men", "anklet"]]
+            parallel_outcome = parallel.search(queries, k=5)
+        serial = ShardedIndex(num_shards=3, parallel=False)
+        for doc_id, tokens in DOCS.items():
+            serial.add_document(doc_id, tokens)
+        serial_outcome = serial.search(queries, k=5)
+        assert parallel_outcome.doc_ids == serial_outcome.doc_ids
+        assert parallel_outcome.scores == serial_outcome.scores
+        assert parallel_outcome.postings_accessed == serial_outcome.postings_accessed
+
+    def test_empty_queries_raise(self, sharded):
+        with pytest.raises(ValueError):
+            sharded.search([[]], k=5)
+
+    def test_per_shard_accounting_sums(self, sharded):
+        outcome = sharded.search([["red", "sock"]], k=5)
+        assert outcome.postings_accessed == sum(outcome.per_shard_postings)
+        assert len(outcome.per_shard_postings) == 3
+
+    def test_scores_sorted_descending_with_doc_tiebreak(self, sharded):
+        outcome = sharded.search([["sock"]], k=10)
+        pairs = list(zip([-s for s in outcome.scores], outcome.doc_ids))
+        assert pairs == sorted(pairs)
+
+
+class TestShardedEngineParity:
+    """The facade must return exactly what the unsharded engine returns."""
+
+    @pytest.fixture(scope="class")
+    def engines(self, tiny_market):
+        config = SearchConfig(max_candidates=20, ranker="bm25")
+        single = SearchEngine(tiny_market.catalog, config)
+        sharded = ShardedSearchEngine(
+            tiny_market.catalog, config, num_shards=4, parallel=True
+        )
+        yield single, sharded
+        sharded.close()
+
+    @pytest.mark.parametrize(
+        "query,rewrites",
+        [
+            ("senior mobile phone", ["big-button mobile phone", "flip mobile phone"]),
+            ("nike shoe", ["running shoe"]),
+            ("apple", []),
+            ("fresh fruit", ["organic fresh fruit", "sweet fresh fruit"]),
+        ],
+    )
+    def test_topk_identical(self, engines, query, rewrites):
+        single, sharded = engines
+        assert sharded.search(query, rewrites).doc_ids == single.search(query, rewrites).doc_ids
+
+    def test_overlap_ranker_parity(self, tiny_market):
+        config = SearchConfig(max_candidates=15, ranker="overlap")
+        single = SearchEngine(tiny_market.catalog, config)
+        sharded = ShardedSearchEngine(
+            tiny_market.catalog, config, num_shards=3, parallel=False
+        )
+        assert (
+            sharded.search("mobile phone").doc_ids
+            == single.search("mobile phone").doc_ids
+        )
+        sharded.close()
+
+    def test_empty_query_raises(self, engines):
+        _, sharded = engines
+        with pytest.raises(ValueError):
+            sharded.search("   ")
+
+    def test_postings_cost_matches_unsharded_total(self, engines):
+        """Shard postings split a term's list; totals must agree with the
+        unsharded cost when no early exit diverges (single-term query)."""
+        single, sharded = engines
+        q = "phone"
+        assert (
+            sharded.search(q).postings_accessed == single.search(q).postings_accessed
+        )
