@@ -9,6 +9,7 @@ subpackages for the full surface:
 - :mod:`repro.models`, :mod:`repro.decoding`, :mod:`repro.training` — NMT models,
   decoders, and the cyclic-consistent training algorithm
 - :mod:`repro.core` — the query rewriter (inference pipeline, cache, serving)
+- :mod:`repro.online` — live-traffic replay + cache freshness under catalog churn
 - :mod:`repro.baselines`, :mod:`repro.search`, :mod:`repro.embedding`,
   :mod:`repro.evaluation`, :mod:`repro.experiments`
 """

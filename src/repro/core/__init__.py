@@ -17,7 +17,11 @@ Exported symbols:
 * :class:`RewriteCache` / :class:`CacheStats` — the key-value tier
   covering head queries (the paper precomputes the top 8M, ~80% of
   traffic), modeled as a finite resource: capacity-bounded sharded LRU
-  with optional TTL and per-shard eviction/occupancy counters.
+  with optional TTL and per-shard eviction/occupancy counters.  Expired
+  entries are collected (and counted) on every access path, and the
+  freshness surface (``delete``/``purge_expired``/``stored_at``/
+  ``expiring_within``) lets ``repro.online`` keep the tier fresh under
+  catalog churn.
 * :class:`ServingPipeline` — cache-first serving with a model fallback;
   ``serve`` handles one request, ``serve_batch`` partitions a batch into
   cache hits and one batched model-tier decode for the misses, and

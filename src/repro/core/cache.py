@@ -14,7 +14,11 @@ production key-value store is provisioned:
   counters observable;
 * **optional TTL** — precomputed rewrites go stale as the catalog and
   click log drift; entries older than ``ttl_seconds`` are treated as
-  misses and collected lazily on access.
+  misses, deleted (and counted as expirations) on *any* access path that
+  discovers them — ``get``, ``__contains__``, or ``put``'s eviction scan —
+  and can be swept eagerly with :meth:`RewriteCache.purge_expired`.
+  Capacity pressure never evicts a live entry while an expired one is
+  still occupying its slot.
 
 The default construction (``RewriteCache()``) remains an unbounded
 single-shard store with no TTL, matching the original seed behaviour.
@@ -46,13 +50,19 @@ class CacheStats:
 class _Shard:
     """One LRU partition: insertion/refresh order is recency order."""
 
-    __slots__ = ("capacity", "entries", "evictions")
+    __slots__ = ("capacity", "entries", "evictions", "earliest_expiry")
 
     def __init__(self, capacity: int | None):
         self.capacity = capacity
         #: key -> (rewrites, stored_at); oldest (least recently used) first
         self.entries: OrderedDict[str, tuple[list[str], float]] = OrderedDict()
         self.evictions = 0
+        #: conservative lower bound on the earliest moment any entry in
+        #: this shard can expire — lets expired-entry scans be skipped in
+        #: O(1) while nothing can possibly be expired.  Individual
+        #: deletions may leave it stale (too low), which only costs one
+        #: harmless extra scan; a full purge recomputes it exactly.
+        self.earliest_expiry = float("inf")
 
 
 class RewriteCache:
@@ -99,6 +109,12 @@ class RewriteCache:
 
     # -- introspection -------------------------------------------------------
     @property
+    def clock(self):
+        """The cache's time source (zero-argument callable), so freshness
+        machinery layered on top can share the exact same notion of now."""
+        return self._clock
+
+    @property
     def capacity(self) -> int | None:
         return self._capacity
 
@@ -123,9 +139,23 @@ class RewriteCache:
         return sum(len(s.entries) for s in self._shards)
 
     def __contains__(self, query: str) -> bool:
+        """Whether a *live* entry exists (no hit/miss accounting).
+
+        An expired entry discovered here is deleted and counted as an
+        expiration — leaving it in place would let dead entries occupy
+        capacity until the next ``get``, which is exactly the state where
+        ``put`` used to evict live neighbours instead.
+        """
         key = normalize(query)
-        entry = self._shard_for(key).entries.get(key)
-        return entry is not None and not self._expired(entry)
+        shard = self._shard_for(key)
+        entry = shard.entries.get(key)
+        if entry is None:
+            return False
+        if self._expired(entry):
+            del shard.entries[key]
+            self.stats.expirations += 1
+            return False
+        return True
 
     # -- core operations ---------------------------------------------------------
     def _shard_for(self, key: str) -> _Shard:
@@ -136,12 +166,45 @@ class RewriteCache:
     def _expired(self, entry: tuple[list[str], float]) -> bool:
         return self._ttl is not None and self._clock() - entry[1] > self._ttl
 
+    def _purge_shard_expired(self, shard: _Shard) -> int:
+        """Delete every expired entry in ``shard``; returns how many.
+
+        O(1) when nothing can be expired yet (the shard's earliest-expiry
+        bound is in the future); otherwise one O(shard) sweep that also
+        recomputes the bound exactly, so the steady-state write path of a
+        full TTL'd cache stays O(1) per insert.
+        """
+        if self._ttl is None or not shard.entries:
+            return 0
+        now = self._clock()
+        if now <= shard.earliest_expiry:
+            return 0
+        dead = [k for k, e in shard.entries.items() if now - e[1] > self._ttl]
+        for key in dead:
+            del shard.entries[key]
+        self.stats.expirations += len(dead)
+        oldest = min((e[1] for e in shard.entries.values()), default=None)
+        shard.earliest_expiry = float("inf") if oldest is None else oldest + self._ttl
+        return len(dead)
+
     def put(self, query: str, rewrites: list[str]) -> None:
-        """Insert or refresh an entry, evicting LRU entries past capacity."""
+        """Insert or refresh an entry, evicting LRU entries past capacity.
+
+        When the shard is over budget, expired entries are collected first
+        (counted as expirations, not evictions); only if the shard is
+        *still* over budget does true LRU eviction of live entries kick
+        in.  Before this ordering, an expired entry could survive an
+        eviction round while a live one was dropped.
+        """
         key = normalize(query)
         shard = self._shard_for(key)
-        shard.entries[key] = (list(rewrites), self._clock())
+        written = self._clock()
+        shard.entries[key] = (list(rewrites), written)
         shard.entries.move_to_end(key)
+        if self._ttl is not None:
+            shard.earliest_expiry = min(shard.earliest_expiry, written + self._ttl)
+        if shard.capacity is not None and len(shard.entries) > shard.capacity:
+            self._purge_shard_expired(shard)
         while shard.capacity is not None and len(shard.entries) > shard.capacity:
             shard.entries.popitem(last=False)
             shard.evictions += 1
@@ -167,6 +230,55 @@ class RewriteCache:
         shard.entries.move_to_end(key)
         self.stats.hits += 1
         return list(entry[0])
+
+    # -- freshness maintenance ----------------------------------------------
+    def delete(self, query: str) -> bool:
+        """Invalidate one entry (expired or live); True if it existed.
+
+        Counts neither an eviction nor an expiration — the caller (e.g. a
+        freshness controller reacting to catalog churn) owns the
+        invalidation accounting.
+        """
+        key = normalize(query)
+        shard = self._shard_for(key)
+        return shard.entries.pop(key, None) is not None
+
+    def purge_expired(self) -> int:
+        """Sweep every shard, deleting (and counting) all expired entries.
+
+        Returns the number purged.  ``get``/``__contains__``/``put``
+        already collect expired entries lazily; this sweep is for a
+        freshness controller that wants capacity back *before* the dead
+        keys are touched again.
+        """
+        return sum(self._purge_shard_expired(shard) for shard in self._shards)
+
+    def stored_at(self, query: str) -> float | None:
+        """Write timestamp of the *live* entry for ``query``, else None.
+
+        A pure peek: no hit/miss accounting, no LRU refresh, and expired
+        entries read as absent (without being collected).
+        """
+        key = normalize(query)
+        entry = self._shard_for(key).entries.get(key)
+        if entry is None or self._expired(entry):
+            return None
+        return entry[1]
+
+    def expiring_within(self, margin_seconds: float) -> list[str]:
+        """Normalized keys of live entries whose TTL runs out within
+        ``margin_seconds`` — the refresh-ahead set.  Empty when TTL is off.
+        """
+        if self._ttl is None:
+            return []
+        now = self._clock()
+        keys: list[str] = []
+        for shard in self._shards:
+            for key, (_, written) in shard.entries.items():
+                remaining = self._ttl - (now - written)
+                if 0.0 <= remaining <= margin_seconds:
+                    keys.append(key)
+        return keys
 
     def populate(self, rewriter, queries: list[str], k: int = 3, progress=None) -> int:
         """Precompute rewrites for head ``queries`` using any rewriter with

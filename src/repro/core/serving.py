@@ -159,6 +159,14 @@ class ServingPipeline:
 
     # -- internal ------------------------------------------------------------
     def _lookup_cache(self, query: str) -> list[str] | None:
+        """None on a cache *miss*; the (truncated) rewrite list on a hit.
+
+        The distinction matters: a hit whose list truncates to empty
+        (``max_rewrites=0``, or an empty list stored directly) is still an
+        authoritative cache answer — "no rewrites for this query" — and
+        must not be re-decoded through the model tier on every request.
+        Callers therefore test ``is not None``, never truthiness.
+        """
         if self.cache is None:
             return None
         cached = self.cache.get(query)
@@ -196,9 +204,9 @@ class ServingPipeline:
         """Serve one request, recording tier and latency."""
         started = time.perf_counter()
         rewrites = self._lookup_cache(query)
-        source = "cache" if rewrites else "none"
+        source = "cache" if rewrites is not None else "none"
 
-        if not rewrites and self.fallback is not None:
+        if rewrites is None and self.fallback is not None:
             results = self.fallback.rewrite(query, k=self.config.max_rewrites)
             rewrites = [r.text for r in results]
             if rewrites:
@@ -229,7 +237,7 @@ class ServingPipeline:
             started = time.perf_counter()
             rewrites = self._lookup_cache(query)
             lookup_ms[i] = (time.perf_counter() - started) * 1000.0
-            if rewrites:
+            if rewrites is not None:
                 results[i] = ServedRewrite(
                     query=query, rewrites=rewrites, source="cache",
                     latency_ms=lookup_ms[i],

@@ -313,6 +313,21 @@ class CatalogGenerator:
             for i in range(count)
         ]
 
+    def sample_product(
+        self, category: str, product_id: int, rng: np.random.Generator
+    ) -> Product:
+        """Sample one product of a *chosen* category.
+
+        :meth:`sample_products` round-robins categories from a fixed
+        starting point, which always churns the alphabetically-first
+        categories; callers that model catalog churn (``repro.online``)
+        pick the category themselves so churn spreads wherever their rng
+        sends it.
+        """
+        if category not in CATEGORY_SPECS:
+            raise KeyError(f"unknown category {category!r}")
+        return self._sample_product(CATEGORY_SPECS[category], product_id, rng)
+
     def _sample_product(
         self, spec: CategorySpec, product_id: int, rng: np.random.Generator
     ) -> Product:

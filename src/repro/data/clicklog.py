@@ -55,6 +55,21 @@ class ClickLog:
     catalog: Catalog
 
     # -- derived views -----------------------------------------------------
+    def traffic(self) -> list[tuple[str, str, int]]:
+        """Click-ranked ``(query text, intent category, clicks)`` triples.
+
+        The live-traffic view of the log: queries ordered head-first by
+        click volume (ties broken by text for determinism), each tagged
+        with its ground-truth category so churn in that category can be
+        attributed to the queries it staleness-affects.  Zero-click
+        queries are kept — they are the long tail a replay must also
+        exercise — with their true count.
+        """
+        records = sorted(
+            self.queries.values(), key=lambda r: (-r.total_clicks, r.text)
+        )
+        return [(r.text, r.intent.category, r.total_clicks) for r in records]
+
     def query_product_clicks(self) -> dict[tuple[str, int], int]:
         """(query text, product id) -> click count, for click-graph methods."""
         counts: dict[tuple[str, int], int] = {}

@@ -24,6 +24,7 @@ from repro.experiments import (
     fig8,
     fig9,
     lm_exploration,
+    online_replay,
     retrieval_scale,
     serving,
     serving_batched,
@@ -51,6 +52,7 @@ RUNNERS = {
     "serving": serving.run,
     "serving_batched": serving_batched.run,
     "retrieval_scale": retrieval_scale.run,
+    "online_replay": online_replay.run,
     "ablation_lambda": ablations.lambda_sweep,
     "ablation_diversity": ablations.decoder_diversity,
     "ablation_warmup": ablations.warmup_sensitivity,

@@ -1,0 +1,238 @@
+"""Online freshness under churn — the serving tier against live traffic.
+
+Section III-G's deployment precomputes rewrites for head queries, but the
+catalog and click log drift while those entries sit in the key-value
+store.  This experiment replays one head-skewed traffic stream, with
+catalog churn events interleaved, through two otherwise-identical serving
+stacks (bounded TTL cache + rule-dictionary fallback + sharded retrieval):
+
+* **baseline** — no freshness management: entries serve stale until their
+  TTL runs out, then fault through the model tier;
+* **freshness** — a :class:`~repro.online.FreshnessController`
+  invalidates + re-populates the affected head entries on every churn
+  event, sweeps expired entries out of capacity, and refresh-ahead
+  re-populates entries close to expiry.
+
+Both arms replay the *same* precomputed schedule on their own catalog
+copies under a virtual clock, so the only difference is policy.  The
+claim under test: the controller cuts the stale-or-empty serve rate while
+keeping throughput within 10% of the baseline — freshness is close to
+free because invalidation is targeted (only churned categories) and
+re-population costs one cheap rewrite per affected head query.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import RuleBasedRewriter
+from repro.core import RewriteCache, ServingConfig, ServingPipeline
+from repro.data.catalog import CatalogConfig, CatalogGenerator, alias_to_canonical
+from repro.data.clicklog import ClickLogConfig, ClickLogSimulator
+from repro.experiments.rendering import ascii_table
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scale import ExperimentScale, SMALL
+from repro.online import (
+    FreshnessController,
+    ReplayConfig,
+    ReplayReport,
+    TrafficReplay,
+    VirtualClock,
+)
+from repro.search import SearchConfig, ShardedSearchEngine
+
+#: catalog/traffic shape — independent of ExperimentScale so the replay
+#: stays a serving-layer workload, not a model-training one
+PRODUCTS_PER_CATEGORY = 40
+NUM_SESSIONS = 2_500
+#: cache tier: TTL'd bounded sharded LRU, clocked by the replay
+CACHE_SHARDS = 4
+TTL_SECONDS = 120.0
+REFRESH_MARGIN_SECONDS = 15.0
+#: controller maintenance cadence: scan at TTL granularity, not per batch
+#: (must stay below REFRESH_MARGIN_SECONDS so every expiry window is seen)
+TICK_INTERVAL_SECONDS = 10.0
+MAX_REWRITES = 3
+#: retrieval fan-out of the end-to-end probes
+NUM_SHARDS = 4
+TOP_K = 20
+#: timing repeats per arm — the replay is deterministic, so repeats agree
+#: on every counter and only wall time varies; best-of-N makes the
+#: throughput comparison robust to scheduler noise on a sub-second run
+TIMING_ROUNDS = 3
+
+
+def _build_arm(
+    replay: TrafficReplay,
+    generator: CatalogGenerator,
+    rewriter: RuleBasedRewriter,
+    *,
+    with_freshness: bool,
+    arm: str,
+) -> ReplayReport:
+    """One serving stack on its own catalog copy, replayed over the schedule."""
+    catalog = generator.generate()
+    # Serial fan-out: at this catalog size thread scheduling costs more
+    # than it saves, and the arm-vs-arm throughput comparison should not
+    # inherit executor jitter.  The sharded churn/merge semantics are
+    # identical either way.
+    engine = ShardedSearchEngine(
+        catalog,
+        SearchConfig(max_candidates=TOP_K, ranker="bm25"),
+        num_shards=NUM_SHARDS,
+        parallel=False,
+    )
+    clock = VirtualClock()
+    head = replay.head_queries()
+    capacity = max(CACHE_SHARDS, int(len(head) * 1.25))
+    cache = RewriteCache(
+        capacity=capacity, shards=CACHE_SHARDS, ttl_seconds=TTL_SECONDS, clock=clock.now
+    )
+    cache.populate(rewriter, list(head), k=MAX_REWRITES)
+    pipeline = ServingPipeline(
+        cache,
+        rewriter,
+        ServingConfig(max_rewrites=MAX_REWRITES, cache_model_results=True),
+        search_engine=engine,
+    )
+    controller = (
+        FreshnessController(
+            cache,
+            rewriter,
+            head,
+            max_rewrites=MAX_REWRITES,
+            refresh_margin_seconds=REFRESH_MARGIN_SECONDS,
+            tick_interval_seconds=TICK_INTERVAL_SECONDS,
+        )
+        if with_freshness
+        else None
+    )
+    try:
+        return replay.run(pipeline, clock, controller, arm=arm)
+    finally:
+        engine.close()
+
+
+def run(
+    scale: ExperimentScale = SMALL, config: ReplayConfig | None = None
+) -> ExperimentResult:
+    cfg = config or ReplayConfig(seed=scale.seed)
+    generator = CatalogGenerator(
+        CatalogConfig(products_per_category=PRODUCTS_PER_CATEGORY, seed=scale.seed)
+    )
+    base_catalog = generator.generate()
+    click_log = ClickLogSimulator(
+        base_catalog,
+        config=ClickLogConfig(num_sessions=NUM_SESSIONS, seed=scale.seed),
+    ).simulate()
+    replay = TrafficReplay(click_log, generator, cfg)
+    rewriter = RuleBasedRewriter(alias_to_canonical())
+
+    # Alternate which arm runs first in each timing round so systematic
+    # drift (thermal throttling, rising machine load) charges both arms
+    # equally; best-of-N per arm then absorbs one-off GC/scheduler spikes.
+    # Each round rebuilds the full stack from the same seed, so repeats
+    # agree on every counter and only wall time varies.
+    baseline_rounds: list[ReplayReport] = []
+    fresh_rounds: list[ReplayReport] = []
+    for round_index in range(TIMING_ROUNDS):
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        for with_freshness in order:
+            report = _build_arm(
+                replay,
+                generator,
+                rewriter,
+                with_freshness=with_freshness,
+                arm="freshness" if with_freshness else "baseline",
+            )
+            (fresh_rounds if with_freshness else baseline_rounds).append(report)
+    baseline = min(baseline_rounds, key=lambda report: report.seconds)
+    fresh = min(fresh_rounds, key=lambda report: report.seconds)
+    freshness = fresh.freshness
+
+    measured = {
+        "requests_per_arm": baseline.requests,
+        "churn_events": baseline.churn_events,
+        "head_queries": len(replay.head_queries()),
+        "baseline_hit_rate": baseline.stats.lifetime_hit_rate,
+        "freshness_hit_rate": fresh.stats.lifetime_hit_rate,
+        "baseline_stale_rate": baseline.stale_rate,
+        "freshness_stale_rate": fresh.stale_rate,
+        "baseline_empty_rate": baseline.empty_rate,
+        "freshness_empty_rate": fresh.empty_rate,
+        "baseline_stale_or_empty_rate": baseline.stale_or_empty_rate,
+        "freshness_stale_or_empty_rate": fresh.stale_or_empty_rate,
+        "baseline_qps": baseline.qps,
+        "freshness_qps": fresh.qps,
+        "qps_ratio": fresh.qps / baseline.qps if baseline.qps else 0.0,
+        "baseline_expirations": baseline.cache_expirations,
+        "freshness_expirations": fresh.cache_expirations,
+        "baseline_evictions": baseline.cache_evictions,
+        "freshness_evictions": fresh.cache_evictions,
+        "baseline_searches": baseline.searches,
+        "freshness_searches": fresh.searches,
+        "baseline_dead_doc_hits": baseline.dead_doc_hits,
+        "freshness_dead_doc_hits": fresh.dead_doc_hits,
+        "invalidated": freshness.invalidated,
+        "refreshed": freshness.refreshed,
+        "proactive_refreshed": freshness.proactive_refreshed,
+        "purged_expired": freshness.purged_expired,
+        "baseline_p99_ms": baseline.stats.p99_latency_ms(),
+        "freshness_p99_ms": fresh.stats.p99_latency_ms(),
+    }
+    rows = [
+        ["requests / churn events", f"{baseline.requests}", f"{baseline.churn_events} churns"],
+        [
+            "stale serves",
+            f"{baseline.stats.total_stale} ({measured['baseline_stale_rate']:.1%})",
+            f"{fresh.stats.total_stale} ({measured['freshness_stale_rate']:.1%})",
+        ],
+        [
+            "stale-or-empty rate",
+            f"{measured['baseline_stale_or_empty_rate']:.1%}",
+            f"{measured['freshness_stale_or_empty_rate']:.1%}",
+        ],
+        [
+            "cache hit rate",
+            f"{measured['baseline_hit_rate']:.1%}",
+            f"{measured['freshness_hit_rate']:.1%}",
+        ],
+        [
+            "throughput",
+            f"{measured['baseline_qps']:.0f} req/s",
+            f"{measured['freshness_qps']:.0f} req/s ({measured['qps_ratio']:.2f}x)",
+        ],
+        [
+            "expirations / evictions",
+            f"{baseline.cache_expirations} / {baseline.cache_evictions}",
+            f"{fresh.cache_expirations} / {fresh.cache_evictions}",
+        ],
+        [
+            "controller activity",
+            "-",
+            (
+                f"{freshness.invalidated} invalidated, {freshness.refreshed} refreshed, "
+                f"{freshness.proactive_refreshed} ahead, {freshness.purged_expired} purged"
+            ),
+        ],
+        [
+            "delisted docs surfaced",
+            f"{baseline.dead_doc_hits} in {baseline.searches} probes",
+            f"{fresh.dead_doc_hits} in {fresh.searches} probes",
+        ],
+    ]
+    rendered = ascii_table(["quantity", "baseline", "freshness"], rows, float_format="{:.3f}")
+    return ExperimentResult(
+        experiment_id="online_replay",
+        title="Online freshness under catalog churn (live-traffic replay)",
+        measured=measured,
+        paper={
+            "claim": "precomputed head rewrites stay servable as catalog drifts",
+            "setting": "Section III-G cache tier under production churn",
+        },
+        rendered=rendered,
+        notes=(
+            "Both arms replay the identical precomputed stream on their own "
+            "catalog copies under a virtual clock; the freshness arm adds "
+            "churn-driven invalidation + re-population, expired-entry sweeps, "
+            "and refresh-ahead, cutting stale serves at matched throughput."
+        ),
+    )

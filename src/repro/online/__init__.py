@@ -1,0 +1,48 @@
+"""Online freshness subsystem: live-traffic replay under catalog churn.
+
+The serving tier (``repro.core``) precomputes rewrites for head queries;
+this package models what production does to that plan: traffic keeps
+arriving while the catalog churns underneath, cached rewrites go stale,
+TTLs run out, and the index must follow every listing/delisting without a
+rebuild.  See ``docs/ONLINE.md`` for the full story.
+
+Exported pieces:
+
+* :class:`VirtualClock` — explicitly-advanced time source shared by the
+  cache, the controller, and the staleness accounting, so replays are
+  deterministic.
+* :class:`WindowedStats` — sliding-window streaming gauges (hit rate,
+  stale/empty-serve rates, p50/p95/p99 latency) with O(1) percentile
+  reads and O(window) memory, replacing full-sort percentiles for long
+  runs.
+* :class:`TrafficReplay` / :class:`ReplayConfig` / :class:`ReplayReport`
+  / :class:`Request` / :class:`ChurnEvent` — the precomputed head/tail
+  request stream interleaved with catalog churn, replayable identically
+  through multiple serving stacks.
+* :class:`FreshnessController` / :class:`FreshnessReport` — churn-driven
+  invalidation + re-population, expired-entry sweeps, and refresh-ahead
+  for entries close to TTL expiry.
+"""
+
+from repro.online.clock import VirtualClock
+from repro.online.freshness import FreshnessController, FreshnessReport
+from repro.online.replay import (
+    ChurnEvent,
+    ReplayConfig,
+    ReplayReport,
+    Request,
+    TrafficReplay,
+)
+from repro.online.stats import WindowedStats
+
+__all__ = [
+    "VirtualClock",
+    "WindowedStats",
+    "TrafficReplay",
+    "ReplayConfig",
+    "ReplayReport",
+    "Request",
+    "ChurnEvent",
+    "FreshnessController",
+    "FreshnessReport",
+]

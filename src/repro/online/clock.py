@@ -1,0 +1,38 @@
+"""Virtual time for deterministic online replays.
+
+A replay must control time: TTL expiry, staleness-vs-churn comparisons,
+and refresh-ahead margins all compare timestamps, and wall-clock time
+would make every run (and every CI machine) see a different expiry
+schedule.  :class:`VirtualClock` is a monotonic counter the replay driver
+advances explicitly — typically by a fixed number of virtual seconds per
+request — and everything that needs a clock (``RewriteCache``,
+``FreshnessController``, staleness accounting) reads the same instance.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Explicitly-advanced monotonic clock.
+
+    Pass ``clock.now`` wherever a zero-argument time source is expected
+    (e.g. ``RewriteCache(clock=clock.now)``).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time. Never goes backwards."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(t={self._now:.3f})"

@@ -1,0 +1,152 @@
+"""Cache freshness under catalog churn.
+
+The cache tier precomputes rewrites for head queries; the catalog and
+click log keep moving underneath it.  Left alone, a bounded TTL cache
+degrades two ways:
+
+* **staleness** — an entry written before a churn event keeps serving
+  rewrites computed against the old catalog until its TTL runs out;
+* **expiry misses** — when the TTL does run out, the next request for
+  that head query pays a model-tier decode (and, before the accounting
+  fixes, the expired entry kept occupying capacity meanwhile).
+
+:class:`FreshnessController` closes both gaps for a managed set of head
+queries.  On a churn event it *invalidates and immediately re-populates*
+the entries of the affected categories, so post-churn requests are served
+fresh.  On every tick it sweeps expired entries out of the cache
+(:meth:`~repro.core.cache.RewriteCache.purge_expired`, reclaiming
+capacity for live entries) and *refresh-ahead* re-populates entries whose
+TTL is about to run out, so head queries never fault through to the model
+tier at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.cache import RewriteCache
+from repro.text import normalize
+
+
+@dataclass
+class FreshnessReport:
+    """What the controller did over a run."""
+
+    #: entries deleted because their category churned
+    invalidated: int = 0
+    #: churn-triggered re-populations that stored a fresh entry
+    refreshed: int = 0
+    #: refresh-ahead re-populations of entries close to expiry
+    proactive_refreshed: int = 0
+    #: expired entries swept out by the per-tick purge
+    purged_expired: int = 0
+
+
+class FreshnessController:
+    """Keeps a head-query cache fresh against churn and TTL expiry.
+
+    Parameters
+    ----------
+    cache:
+        The serving cache tier.  Must share its clock with whoever calls
+        :meth:`tick` (in a replay, the :class:`~repro.online.VirtualClock`).
+    rewriter:
+        Any object with ``rewrite(query, k) -> list[RewriteResult]``; used
+        to re-populate invalidated/expiring entries.
+    head_queries:
+        query text -> category for the managed head set.  Only these are
+        re-populated; entries promoted into the cache by model-tier
+        write-back are left to LRU/TTL discipline.
+    max_rewrites:
+        ``k`` passed to the rewriter on re-population.
+    refresh_margin_seconds:
+        Entries whose TTL runs out within this margin are re-populated on
+        :meth:`tick`; ``0`` disables refresh-ahead (the purge still runs).
+    tick_interval_seconds:
+        Minimum (cache-clock) time between two ticks actually doing work;
+        calls inside the interval return immediately.  Both tick duties —
+        the expired sweep and the refresh-ahead scan — are O(cache
+        entries), and freshness only changes at TTL granularity, so a
+        caller can invoke :meth:`tick` per serving batch and let the
+        controller decide when scanning is worth it.  ``0`` (default)
+        scans on every call.
+    """
+
+    def __init__(
+        self,
+        cache: RewriteCache,
+        rewriter,
+        head_queries: Mapping[str, str],
+        *,
+        max_rewrites: int = 3,
+        refresh_margin_seconds: float = 0.0,
+        tick_interval_seconds: float = 0.0,
+    ):
+        if refresh_margin_seconds < 0:
+            raise ValueError("refresh_margin_seconds must be >= 0")
+        if tick_interval_seconds < 0:
+            raise ValueError("tick_interval_seconds must be >= 0")
+        self.cache = cache
+        self.rewriter = rewriter
+        self.max_rewrites = max_rewrites
+        self.refresh_margin_seconds = refresh_margin_seconds
+        self.tick_interval_seconds = tick_interval_seconds
+        self._next_tick_at: float | None = None
+        self._by_category: dict[str, list[str]] = {}
+        self._query_by_key: dict[str, str] = {}
+        for query, category in head_queries.items():
+            self._by_category.setdefault(category, []).append(query)
+            self._query_by_key[normalize(query)] = query
+        self.report = FreshnessReport()
+
+    # -- event handlers ------------------------------------------------------
+    def on_churn(self, categories) -> int:
+        """Invalidate + re-populate head entries of the churned categories.
+
+        Returns the number of entries invalidated.  Re-population happens
+        immediately (not lazily on next request): these are head queries,
+        so the next request is at most a batch away, and a freshly-stamped
+        entry is what makes the post-churn serve *not* stale.
+        """
+        invalidated = 0
+        for category in sorted(set(categories)):
+            for query in self._by_category.get(category, ()):
+                if self.cache.delete(query):
+                    invalidated += 1
+                self._repopulate(query, proactive=False)
+        self.report.invalidated += invalidated
+        return invalidated
+
+    def tick(self) -> None:
+        """Periodic maintenance: sweep expired entries, refresh-ahead.
+
+        Call as often as convenient (e.g. once per serving batch);
+        ``tick_interval_seconds`` rate-limits the O(cache entries) scans
+        to the cadence freshness actually changes at.
+        """
+        if self.tick_interval_seconds > 0:
+            now = self.cache.clock()
+            if self._next_tick_at is not None and now < self._next_tick_at:
+                return
+            self._next_tick_at = now + self.tick_interval_seconds
+        self.report.purged_expired += self.cache.purge_expired()
+        if self.refresh_margin_seconds > 0:
+            for key in self.cache.expiring_within(self.refresh_margin_seconds):
+                query = self._query_by_key.get(key)
+                if query is not None:
+                    self._repopulate(query, proactive=True)
+
+    # -- internals -----------------------------------------------------------
+    def _repopulate(self, query: str, *, proactive: bool) -> None:
+        results = self.rewriter.rewrite(query, k=self.max_rewrites)
+        rewrites = [r.text for r in results]
+        if not rewrites:
+            # Never store an entry that can never be served; the query
+            # simply falls through to the model tier like any tail query.
+            return
+        self.cache.put(query, rewrites)
+        if proactive:
+            self.report.proactive_refreshed += 1
+        else:
+            self.report.refreshed += 1

@@ -260,6 +260,23 @@ class ShardedSearchEngine:
     def remove_document(self, doc_id: int) -> None:
         self.index.remove_document(doc_id)
 
+    # -- catalog-level churn ---------------------------------------------------
+    def add_product(self, product) -> None:
+        """Add a product to the catalog AND the live index, in lockstep.
+
+        The one-call form keeps the two structures from drifting under
+        churn: a product is either in both (searchable, resolvable) or in
+        neither.  ``Catalog.add_product`` validates id uniqueness first,
+        so a rejected add never half-lands in the index.
+        """
+        self.catalog.add_product(product)
+        self.index.add_document(product.product_id, product.title_tokens)
+
+    def remove_product(self, product_id: int) -> None:
+        """Remove a product from the catalog AND the live index."""
+        self.catalog.remove_product(product_id)
+        self.index.remove_document(product_id)
+
     def search(self, query: str, rewrites: list[str] | None = None) -> SearchOutcome:
         rewrites = rewrites or []
         queries = [tokenize(query)] + [tokenize(r) for r in rewrites]

@@ -175,6 +175,189 @@ class TestBoundedCache:
         assert cache.stats.evictions == 0
 
 
+class TestCacheExpiryRegressions:
+    """Expired entries must be collected on ANY access path, and capacity
+    pressure must never evict a live entry while an expired one survives."""
+
+    def test_contains_collects_expired_entry(self):
+        # Regression: __contains__ used to detect expiry but leave the
+        # entry occupying capacity, uncounted.
+        now = [0.0]
+        cache = RewriteCache(ttl_seconds=10, clock=lambda: now[0])
+        cache.put("a", ["ra"])
+        now[0] = 11.0
+        assert "a" not in cache
+        assert len(cache) == 0
+        assert cache.stats.expirations == 1
+        # Collected exactly once: the follow-up get is a plain miss.
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 1
+
+    def test_expired_entry_never_forces_live_eviction(self):
+        # Regression: a get() refreshed an entry's recency without
+        # re-stamping its TTL, so an *expired* entry could sit at the MRU
+        # end while a *live* one sat at the LRU front — and put() evicted
+        # the live one.
+        now = [0.0]
+        cache = RewriteCache(capacity=2, ttl_seconds=10, clock=lambda: now[0])
+        cache.put("x", ["rx"])  # written t=0
+        now[0] = 6.0
+        cache.put("y", ["ry"])  # written t=6
+        now[0] = 7.0
+        assert cache.get("x") == ["rx"]  # x now MRU; y is the LRU front
+        now[0] = 12.0  # x expired (age 12 > 10), y live (age 6)
+        cache.put("z", ["rz"])
+        assert cache.get("y") == ["ry"]  # pre-fix: y was evicted here
+        assert cache.get("z") == ["rz"]
+        assert cache.get("x") is None
+        assert cache.stats.evictions == 0
+        assert cache.stats.expirations == 1
+
+    def test_live_entries_still_evict_lru_when_nothing_expired(self):
+        now = [0.0]
+        cache = RewriteCache(capacity=2, ttl_seconds=100, clock=lambda: now[0])
+        cache.put("a", ["ra"])
+        cache.put("b", ["rb"])
+        cache.put("c", ["rc"])
+        assert cache.get("a") is None
+        assert cache.stats.evictions == 1
+        assert cache.stats.expirations == 0
+
+
+class TestFreshnessApis:
+    """delete / purge_expired / stored_at / expiring_within — the surface
+    the online freshness controller drives."""
+
+    def test_delete_removes_without_counting(self):
+        cache = RewriteCache()
+        cache.put("a", ["r"])
+        assert cache.delete("A ") is True  # normalized key
+        assert cache.delete("a") is False
+        assert len(cache) == 0
+        assert cache.stats.evictions == 0
+        assert cache.stats.expirations == 0
+
+    def test_purge_expired_sweeps_all_shards(self):
+        now = [0.0]
+        cache = RewriteCache(shards=2, ttl_seconds=10, clock=lambda: now[0])
+        for i in range(6):
+            cache.put(f"query {i}", ["r"])
+        now[0] = 5.0
+        cache.put("late", ["r"])
+        now[0] = 12.0  # the first six expired; "late" is live
+        assert cache.purge_expired() == 6
+        assert cache.stats.expirations == 6
+        assert len(cache) == 1
+        assert cache.get("late") == ["r"]
+        assert cache.purge_expired() == 0
+
+    def test_purge_correct_after_refresh_moves_expiry_forward(self):
+        # The earliest-expiry fast path must stay conservative when an
+        # entry is re-put (its old, earlier expiry no longer exists).
+        now = [0.0]
+        cache = RewriteCache(ttl_seconds=10, clock=lambda: now[0])
+        cache.put("a", ["r"])
+        now[0] = 5.0
+        cache.put("a", ["r2"])  # re-stamped: expires at 15, not 10
+        now[0] = 12.0
+        assert cache.purge_expired() == 0  # nothing actually expired
+        assert cache.get("a") == ["r2"]
+        now[0] = 16.0
+        assert cache.purge_expired() == 1
+
+    def test_purge_expired_without_ttl_is_noop(self):
+        cache = RewriteCache()
+        cache.put("a", ["r"])
+        assert cache.purge_expired() == 0
+        assert len(cache) == 1
+
+    def test_stored_at_is_a_pure_peek(self):
+        now = [3.0]
+        cache = RewriteCache(capacity=2, ttl_seconds=10, clock=lambda: now[0])
+        cache.put("a", ["ra"])
+        assert cache.stored_at("a") == 3.0
+        assert cache.stored_at("missing") is None
+        # No hit/miss accounting...
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        # ...and no LRU refresh: "a" is still the eviction victim.
+        cache.put("b", ["rb"])
+        cache.put("c", ["rc"])
+        assert cache.get("a") is None
+        # Expired entries read as absent (and are not collected by a peek).
+        now[0] = 20.0
+        assert cache.stored_at("b") is None
+
+    def test_expiring_within_margin(self):
+        now = [0.0]
+        cache = RewriteCache(ttl_seconds=10, clock=lambda: now[0])
+        cache.put("early bird", ["r"])  # expires at t=10
+        now[0] = 5.0
+        cache.put("late riser", ["r"])  # expires at t=15
+        now[0] = 7.0
+        assert cache.expiring_within(1.0) == []
+        assert cache.expiring_within(4.0) == ["early bird"]
+        assert sorted(cache.expiring_within(10.0)) == ["early bird", "late riser"]
+
+    def test_expiring_within_without_ttl_is_empty(self):
+        cache = RewriteCache()
+        cache.put("a", ["r"])
+        assert cache.expiring_within(1e9) == []
+
+
+class TestCachedEmptyServing:
+    """A cache hit whose rewrite list truncates to empty is an
+    authoritative answer, not a miss to re-decode every request."""
+
+    def test_cached_empty_served_from_cache_tier(self):
+        cache = RewriteCache()
+        cache.put("q", [])  # negative entry stored directly
+        fallback = StubRewriter({"q": ["model rewrite"]})
+        pipeline = ServingPipeline(cache, fallback)
+        for _ in range(3):
+            served = pipeline.serve("q")
+            assert served.source == "cache"
+            assert served.rewrites == []
+        # Regression: every one of these used to pay a model decode.
+        assert fallback.calls == 0
+        assert pipeline.stats.cache_served == 3
+        assert pipeline.stats.model_served == 0
+
+    def test_max_rewrites_zero_truncation_still_a_hit(self):
+        cache = RewriteCache()
+        cache.put("q", ["a", "b"])
+        fallback = StubRewriter({"q": ["m"]})
+        pipeline = ServingPipeline(cache, fallback, ServingConfig(max_rewrites=0))
+        served = pipeline.serve("q")
+        assert served.source == "cache"
+        assert served.rewrites == []
+        assert fallback.calls == 0
+        assert cache.stats.hits == 1
+
+    def test_serve_batch_cached_empty_accounting(self):
+        cache = RewriteCache()
+        cache.put("negative", [])
+        fallback = BatchStubRewriter({"tail": ["model rewrite"]})
+        pipeline = ServingPipeline(cache, fallback)
+        served = pipeline.serve_batch(["negative", "tail"])
+        assert [s.source for s in served] == ["cache", "model"]
+        # Only the true miss reached the batched decode.
+        assert fallback.batches == [["tail"]]
+        assert pipeline.stats.cache_served == 1
+        assert pipeline.stats.model_served == 1
+
+    def test_unservable_results_never_written_back(self):
+        cache = RewriteCache()
+        fallback = StubRewriter({"q": ["m"]})
+        pipeline = ServingPipeline(
+            cache, fallback, ServingConfig(max_rewrites=0, cache_model_results=True)
+        )
+        served = pipeline.serve("q")
+        assert served.source == "none"
+        assert len(cache) == 0  # nothing unservable stored
+
+
 class TestServingStatsPercentiles:
     def test_p99_nearest_rank(self):
         # nearest-rank: ceil(0.99 * 100) = 100th smallest -> index 98 -> 99.0,

@@ -1,0 +1,57 @@
+"""Repository hygiene: no build/bytecode artifacts under version control.
+
+152 ``__pycache__/*.pyc`` files were once committed alongside the sources
+they were compiled from — stale the moment the sources changed, different
+per Python version, and noise in every diff.  This test keeps them out
+for good: it fails if any tracked path is Python bytecode, a
+``__pycache__`` directory member, or another generated artifact the
+``.gitignore`` is supposed to catch.  CI runs it as part of the tier-1
+suite and as an explicit hygiene step.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: path fragments that must never be tracked
+FORBIDDEN_PARTS = ("__pycache__",)
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo", ".pyd", ".so", ".egg-info")
+
+
+def _tracked_files() -> list[str]:
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    listing = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return listing.stdout.splitlines()
+
+
+def test_no_tracked_bytecode_or_caches():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if any(part in pathlib.PurePosixPath(path).parts for part in FORBIDDEN_PARTS)
+        or path.endswith(FORBIDDEN_SUFFIXES)
+    ]
+    assert not offenders, (
+        f"{len(offenders)} generated file(s) under version control "
+        f"(first few: {offenders[:5]}) — `git rm --cached` them; "
+        ".gitignore should already exclude these patterns"
+    )
+
+
+def test_gitignore_covers_pycache():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__/" in gitignore
+    assert "*.py[cod]" in gitignore

@@ -99,6 +99,94 @@ class TestIncrementalChurn:
         index.close()
 
 
+class TestChurnSearchInterleaving:
+    """Searches interleaved with add/remove must always see a consistent
+    index: exactly the live documents, with live global statistics."""
+
+    def test_interleaved_churn_results_track_live_set(self):
+        index = ShardedIndex(num_shards=3, parallel=False)
+        alive: set[int] = set()
+        for doc_id in range(60):
+            index.add_document(doc_id, ("tok", f"shade{doc_id % 5}"))
+            alive.add(doc_id)
+            if doc_id % 3 == 2:
+                victim = doc_id - 2
+                index.remove_document(victim)
+                alive.discard(victim)
+            outcome = index.search([["tok"]], k=100)
+            assert sorted(outcome.doc_ids) == sorted(alive)
+            assert index.stats().document_frequency("tok") == len(alive)
+        index.close()
+
+    def test_search_concurrent_with_writer_sees_all_or_nothing(self):
+        index = ShardedIndex(num_shards=2, parallel=False)
+        for doc_id in range(20):
+            index.add_document(doc_id, ("filler", f"f{doc_id}"))
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def churn_beacon():
+            # One document with a unique token flaps in and out; a search
+            # must see it fully present or fully absent, never half-applied.
+            try:
+                while not stop.is_set():
+                    index.add_document(999, ("beacon", "filler"))
+                    index.remove_document(999)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        writer = threading.Thread(target=churn_beacon)
+        writer.start()
+        try:
+            for _ in range(300):
+                outcome = index.search([["beacon"]], k=5)
+                assert outcome.doc_ids in ([], [999])
+        finally:
+            stop.set()
+            writer.join()
+        assert not errors
+        index.close()
+
+    def test_engine_product_churn_keeps_catalog_and_index_lockstep(self, tiny_market):
+        import numpy as np
+
+        from repro.data.catalog import CatalogGenerator
+
+        engine = ShardedSearchEngine(
+            tiny_market.catalog, SearchConfig(max_candidates=10), num_shards=3,
+            parallel=False,
+        )
+        rng = np.random.default_rng(7)
+        new_id = tiny_market.catalog.next_product_id()
+        product = CatalogGenerator().sample_product("phone", new_id, rng)
+        engine.add_product(product)
+        try:
+            # the session-scoped catalog must be restored even on failure
+            assert new_id in tiny_market.catalog
+            assert new_id in engine.index
+            assert new_id in engine.search(product.title).doc_ids
+        finally:
+            engine.remove_product(new_id)
+        assert new_id not in tiny_market.catalog
+        assert new_id not in engine.index
+        assert new_id not in engine.search(product.title).doc_ids
+        engine.close()
+
+    def test_engine_rejects_bad_product_churn_atomically(self, tiny_market):
+        engine = ShardedSearchEngine(
+            tiny_market.catalog, SearchConfig(max_candidates=5), num_shards=2,
+            parallel=False,
+        )
+        existing = tiny_market.catalog.products[0]
+        size_before = len(engine.index)
+        with pytest.raises(ValueError):
+            engine.add_product(existing)  # duplicate id: catalog rejects first
+        with pytest.raises(KeyError):
+            engine.remove_product(10_000_000)
+        assert len(engine.index) == size_before
+        engine.close()
+
+
 class TestFanOutMerge:
     def test_search_matches_union_of_queries(self, sharded):
         outcome = sharded.search([["anklet"], ["blue"]], k=10, ranker=TermOverlapRanker())
