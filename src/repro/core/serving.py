@@ -98,6 +98,8 @@ class ServingStats:
     search_requests: int = 0
     #: cumulative postings touched by those retrievals (paper's CPU-cost proxy)
     search_postings_accessed: int = 0
+    #: retrievals per mode ("lexical" | "semantic" | "hybrid")
+    search_by_mode: dict = field(default_factory=dict)
     latencies_ms: list[float] = field(default_factory=list)
     #: cache-tier gauges, mirrored from the bounded cache after each serve
     cache_evictions: int = 0
@@ -282,8 +284,43 @@ class ServingPipeline:
         self._sync_cache_gauges()
         return results
 
-    def search_batch(self, queries: list[str]) -> list[ServedSearch]:
-        """Serve a batch end to end: rewrite tiers, then sharded retrieval.
+    def _resolve_modes(
+        self, queries: list[str], modes: str | list[str | None] | None
+    ) -> list[str | None]:
+        """Validate per-request retrieval modes against the engine.
+
+        ``modes`` is ``None`` (engine default for every request), one
+        mode string for the whole batch, or a per-request list (``None``
+        entries fall back to the engine default).  Engines advertise what
+        they accept through a ``retrieval_modes`` attribute; an engine
+        without one is lexical-only, so only ``None``/``"lexical"`` pass.
+        """
+        if modes is None:
+            per_request: list[str | None] = [None] * len(queries)
+        elif isinstance(modes, str):
+            per_request = [modes] * len(queries)
+        else:
+            per_request = list(modes)
+            if len(per_request) != len(queries):
+                raise ValueError(
+                    f"got {len(per_request)} modes for {len(queries)} queries"
+                )
+        supported = getattr(self.search_engine, "retrieval_modes", ("lexical",))
+        for mode in per_request:
+            if mode is not None and mode not in supported:
+                raise ValueError(
+                    f"retrieval mode {mode!r} not supported by "
+                    f"{type(self.search_engine).__name__}; "
+                    f"available: {', '.join(supported)}"
+                )
+        return per_request
+
+    def search_batch(
+        self,
+        queries: list[str],
+        modes: str | list[str | None] | None = None,
+    ) -> list[ServedSearch]:
+        """Serve a batch end to end: rewrite tiers, then retrieval.
 
         ``serve_batch`` produces each request's rewrites (cache tier or
         one stacked model decode), and every request is then retrieved
@@ -291,30 +328,54 @@ class ServingPipeline:
         rewrites`` — the Section III-H merged-tree path.  Queries that
         tokenize to nothing and produced no rewrites come back with an
         empty candidate list instead of failing the batch.
+
+        ``modes`` selects the retrieval mode per request (``"lexical" |
+        "semantic" | "hybrid"``) for engines that support modes (a
+        :class:`~repro.search.hybrid.HybridSearchEngine`); omit it to use
+        each engine's default.  Mode usage is tallied in
+        ``ServingStats.search_by_mode``.
         """
         if self.search_engine is None:
             raise ValueError(
                 "search_batch needs a search engine; construct the pipeline "
                 "with search_engine=SearchEngine(catalog) or a ShardedSearchEngine"
             )
+        per_request = self._resolve_modes(queries, modes)
         served_batch = self.serve_batch(queries)
         results: list[ServedSearch] = []
-        for served in served_batch:
+        for served, mode in zip(served_batch, per_request):
             started = time.perf_counter()
             # Only search when something actually tokenizes: a rewrite list
             # of punctuation-only strings must not fail the whole batch.
             # Short-circuits on the query, so the common case pays one
             # extra tokenize and never touches the rewrites.
             if tokenize(served.query) or any(tokenize(r) for r in served.rewrites):
-                outcome = self.search_engine.search(served.query, served.rewrites)
+                # Mode-less engines take no ``mode`` kwarg; _resolve_modes
+                # already guaranteed their requests are lexical-or-default.
+                if mode is None or not hasattr(self.search_engine, "retrieval_modes"):
+                    outcome = self.search_engine.search(served.query, served.rewrites)
+                else:
+                    outcome = self.search_engine.search(
+                        served.query, served.rewrites, mode=mode
+                    )
                 doc_ids = outcome.doc_ids
                 postings = outcome.postings_accessed
+                used_mode = getattr(outcome, "mode", "lexical")
             else:
                 doc_ids = []
                 postings = 0
+                # No retrieval ran, so tally under the mode that WOULD
+                # have served the request: the explicit one, else the
+                # engine's advertised default.
+                used_mode = mode or getattr(
+                    self.search_engine, "default_mode", "lexical"
+                )
             retrieval_ms = (time.perf_counter() - started) * 1000.0
             self.stats.search_requests += 1
             self.stats.search_postings_accessed += postings
+            self.stats.search_by_mode[used_mode] = (
+                self.stats.search_by_mode.get(used_mode, 0) + 1
+            )
             results.append(
                 ServedSearch(
                     served=served,

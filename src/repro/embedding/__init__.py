@@ -4,6 +4,14 @@ The paper's Table VII "Cosine Similarity" column scores query pairs with
 embeddings from their production embedding-retrieval model (DPSR [1]).  We
 substitute a small two-tower encoder trained on the same synthetic click
 log with in-batch softmax — the standard recipe for such retrieval models.
+
+Beyond scoring query pairs, the encoder is the embedding source of the
+semantic retrieval tier: :mod:`repro.search.vector` builds its IVF ANN
+index over ``encode_titles`` output and probes it with ``encode_query``
+vectors (``docs/SEMANTIC.md``).
+
+Thread safety: a trained encoder is read-only at inference time and safe
+to share across search threads; training itself is single-threaded.
 """
 
 from repro.embedding.dual_encoder import DualEncoder, DualEncoderConfig, train_dual_encoder

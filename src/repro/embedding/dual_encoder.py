@@ -1,4 +1,21 @@
-"""Two-tower text encoder trained on click pairs."""
+"""Two-tower text encoder trained on click pairs (DPSR substitute).
+
+:class:`DualEncoder` maps queries and titles into one shared unit sphere;
+:func:`train_dual_encoder` fits it with in-batch softmax over click pairs.
+The inference surface comes in two granularities — per-text
+(:meth:`DualEncoder.encode_query` / :meth:`~DualEncoder.encode_title`)
+and batched (:meth:`~DualEncoder.encode_queries` /
+:meth:`~DualEncoder.encode_titles`), the latter being what the semantic
+retrieval tier (:mod:`repro.search.vector`) uses to embed whole catalogs.
+
+Complexity: one encode is O(tokens · dim) pooling plus an O(dim²) tower
+projection; a batch of n texts pads to the longest text and pays one
+stacked forward instead of n.
+
+Thread safety: training mutates parameters and must be single-threaded;
+a trained encoder's ``encode_*`` methods are pure reads and safe to call
+concurrently.
+"""
 
 from __future__ import annotations
 
@@ -54,23 +71,71 @@ class DualEncoder(Module):
         return x / norm
 
     def query_encoding(self, token_ids: np.ndarray) -> Tensor:
+        """Differentiable query-tower encodings: (batch, len) ids -> unit rows."""
         return self._normalize(self.query_tower(self._pool(token_ids)))
 
     def title_encoding(self, token_ids: np.ndarray) -> Tensor:
+        """Differentiable title-tower encodings: (batch, len) ids -> unit rows."""
         return self._normalize(self.title_tower(self._pool(token_ids)))
 
     # -- inference helpers -----------------------------------------------------
     def encode_query(self, text: str | list[str]) -> np.ndarray:
-        tokens = tokenize(text) if isinstance(text, str) else list(text)
-        ids = np.array([self.vocab.encode(tokens, add_eos=False)])
-        with no_grad():
-            return self.query_encoding(ids).data[0]
+        """Unit-norm query embedding of one text (string or token list)."""
+        return self.encode_queries([text])[0]
 
     def encode_title(self, text: str | list[str]) -> np.ndarray:
-        tokens = tokenize(text) if isinstance(text, str) else list(text)
-        ids = np.array([self.vocab.encode(tokens, add_eos=False)])
+        """Unit-norm title embedding of one text (string or token list)."""
+        return self.encode_titles([text])[0]
+
+    def encode_queries(
+        self, texts: list[str | list[str]], batch_size: int = 512
+    ) -> np.ndarray:
+        """Query-tower embeddings for a batch of texts: ``(n, output_dim)``.
+
+        Texts are tokenized (strings) or taken as-is (token lists), padded
+        per chunk of ``batch_size``, and pushed through one stacked forward
+        per chunk — this is how catalogs get embedded at scale.  Rows come
+        back in input order; a text that tokenizes to nothing embeds to
+        the zero vector (the only non-unit-norm output).
+        """
+        return self._encode_batch(texts, self.query_encoding, batch_size)
+
+    def encode_titles(
+        self, texts: list[str | list[str]], batch_size: int = 512
+    ) -> np.ndarray:
+        """Title-tower embeddings for a batch of texts: ``(n, output_dim)``.
+
+        Same contract as :meth:`encode_queries`, through the title tower.
+        """
+        return self._encode_batch(texts, self.title_encoding, batch_size)
+
+    def _encode_batch(self, texts, encoding_fn, batch_size: int) -> np.ndarray:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        out = np.zeros((len(texts), self.config.output_dim), dtype=np.float64)
+        encoded = [
+            self.vocab.encode(
+                tokenize(t) if isinstance(t, str) else list(t), add_eos=False
+            )
+            for t in texts
+        ]
         with no_grad():
-            return self.title_encoding(ids).data[0]
+            for start in range(0, len(encoded), batch_size):
+                chunk = encoded[start : start + batch_size]
+                width = max((len(ids) for ids in chunk), default=0)
+                if width == 0:
+                    continue  # pad_batch needs at least one column
+                batch = pad_batch(chunk, self.vocab.pad_id)
+                rows = encoding_fn(batch).data
+                # Empty texts pool to zero, but the tower bias would still
+                # produce a unit vector; pin them to the zero vector so
+                # "nothing to encode" never matches anything.
+                empty = np.array([len(ids) == 0 for ids in chunk])
+                if empty.any():
+                    rows = rows.copy()
+                    rows[empty] = 0.0
+                out[start : start + len(chunk)] = rows
+        return out
 
     def cosine(self, query_a: str | list[str], query_b: str | list[str]) -> float:
         """Cosine similarity of two queries in the query-tower space —

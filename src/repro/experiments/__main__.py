@@ -23,6 +23,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    hybrid_retrieval,
     lm_exploration,
     online_replay,
     retrieval_scale,
@@ -52,6 +53,7 @@ RUNNERS = {
     "serving": serving.run,
     "serving_batched": serving_batched.run,
     "retrieval_scale": retrieval_scale.run,
+    "hybrid_retrieval": hybrid_retrieval.run,
     "online_replay": online_replay.run,
     "ablation_lambda": ablations.lambda_sweep,
     "ablation_diversity": ablations.decoder_diversity,

@@ -1,0 +1,313 @@
+"""Hybrid retrieval at catalog scale — semantic recall over the vocabulary gap.
+
+The paper's query rewriting exists because lexical retrieval has a hard
+failure mode: when a query's tokens (and all of its rewrites' tokens)
+never occur in any title, the inverted index returns *nothing*.  This
+experiment measures the semantic tier that closes that gap, on a
+≥50k-document catalog:
+
+* **Vocabulary-gap recall** — a query set built entirely from query-side
+  vocabulary (vague words, colloquial category names, audience aliases),
+  with rewrites that are also query-side-only, so the lexical tier's
+  recall is structurally zero.  The hybrid engine answers the same
+  requests per retrieval mode (``lexical | semantic | hybrid``), and
+  recall@10 is scored against ground-truth relevance (same category and
+  audience as the intent).
+* **ANN vs brute force** — the IVF index must not pay for its recall with
+  latency: the probe search is timed against the exact dense
+  matrix–vector baseline at the smallest ``nprobe`` whose top-10 matches
+  brute force with recall ≥ 0.95, on the same 50k embeddings.
+* **Churn** — products are listed and delisted through
+  :meth:`~repro.search.hybrid.HybridSearchEngine.add_product` /
+  ``remove_product`` (catalog, inverted index, and vector index in
+  lockstep), and the vector tier must never surface a delisted product
+  again.
+
+The dual encoder is trained on the synthetic click log (in-batch
+softmax over query–title click pairs) — the colloquial queries in the
+log are exactly what teaches the query tower to land alias-ridden text
+near canonical titles.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.catalog import (
+    AUDIENCE_ALIASES,
+    CATEGORY_SPECS,
+    Catalog,
+    CatalogConfig,
+    CatalogGenerator,
+    VAGUE_WORDS,
+)
+from repro.data.clicklog import ClickLogConfig
+from repro.data.marketplace import MarketplaceConfig, generate_marketplace
+from repro.embedding import DualEncoder, DualEncoderConfig, train_dual_encoder
+from repro.experiments.rendering import ascii_table
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scale import ExperimentScale, SMALL
+from repro.search import (
+    HybridConfig,
+    HybridSearchEngine,
+    SearchConfig,
+    ShardedVectorIndex,
+    VectorIndex,
+)
+
+#: corpus floor — the acceptance bar is "a ≥50k-doc synthetic catalog"
+TARGET_DOCS = 50_000
+RECALL_K = 10
+NUM_GAP_QUERIES = 40
+NUM_ANN_QUERIES = 100
+TIMING_ROUNDS = 3
+ENCODER_STEPS = 400
+NPROBE_SWEEP = (2, 4, 8, 16, 32)
+ANN_CLUSTERS = 192
+MATCHED_RECALL_FLOOR = 0.95
+CHURN_DOCS = 400
+NUM_SHARDS = 4
+
+
+def _train_encoder(scale: ExperimentScale) -> DualEncoder:
+    """Fit the dual encoder on a click log over the same category specs."""
+    market = generate_marketplace(
+        MarketplaceConfig(
+            catalog=CatalogConfig(products_per_category=scale.products_per_category),
+            clicks=ClickLogConfig(num_sessions=scale.num_sessions),
+            seed=scale.seed,
+        )
+    )
+    encoder = DualEncoder(market.vocab, DualEncoderConfig(seed=scale.seed))
+    train_dual_encoder(
+        encoder,
+        market.train_pairs,
+        steps=ENCODER_STEPS,
+        rng=np.random.default_rng(scale.seed),
+    )
+    return encoder
+
+
+def _build_catalog(scale: ExperimentScale) -> Catalog:
+    generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
+    rng = np.random.default_rng(scale.seed)
+    return Catalog(products=generator.sample_products(TARGET_DOCS, rng))
+
+
+def _gap_queries(rng: np.random.Generator) -> list[tuple[str, list[str], str, str]]:
+    """(query, rewrites, category, audience) with query-side-only tokens.
+
+    Every token is drawn from vocabulary that never appears in titles
+    (vague words, colloquial category names, filler, audience aliases),
+    and the rewrites swap in *other* query-side surface forms — the
+    worst case for lexical retrieval: each rewrite misses the index too.
+    """
+    names = [
+        name
+        for name in sorted(CATEGORY_SPECS)
+        if CATEGORY_SPECS[name].audiences and len(CATEGORY_SPECS[name].colloquial) >= 1
+    ]
+    requests = []
+    for i in range(NUM_GAP_QUERIES):
+        spec = CATEGORY_SPECS[names[i % len(names)]]
+        audience = str(rng.choice(spec.audiences))
+        aliases = list(AUDIENCE_ALIASES[audience])
+        colloquial = [str(c) for c in spec.colloquial]
+        vague = [str(v) for v in rng.choice(VAGUE_WORDS, size=3, replace=False)]
+
+        def surface(slot: int) -> str:
+            return (
+                f"{vague[slot % len(vague)]} "
+                f"{colloquial[slot % len(colloquial)]} "
+                f"for {aliases[slot % len(aliases)]}"
+            )
+
+        requests.append((surface(0), [surface(1), surface(2)], spec.name, audience))
+    return requests
+
+
+def _relevant_ids(catalog: Catalog, category: str, audience: str) -> set[int]:
+    return {
+        p.product_id
+        for p in catalog.by_category.get(category, ())
+        if p.audience == audience
+    }
+
+
+def _recall_at_k(doc_ids: list[int], relevant: set[int], k: int) -> float:
+    if not relevant:
+        return 0.0
+    hits = sum(1 for doc_id in doc_ids[:k] if doc_id in relevant)
+    return hits / min(k, len(relevant))
+
+
+def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
+    rng = np.random.default_rng(scale.seed + 1)
+    encoder = _train_encoder(scale)
+    catalog = _build_catalog(scale)
+
+    # Embed the catalog ONCE; the sharded tier inside the engine and the
+    # flat ANN-vs-brute index below share the same matrix.
+    doc_ids = [p.product_id for p in catalog.products]
+    embeddings = encoder.encode_titles([list(p.title_tokens) for p in catalog.products])
+    vector = ShardedVectorIndex(
+        encoder.config.output_dim,
+        num_shards=NUM_SHARDS,
+        num_clusters=32,
+        parallel=True,
+        seed=scale.seed,
+    )
+    vector.fit(doc_ids, embeddings)
+    engine = HybridSearchEngine(
+        catalog,
+        encoder,
+        SearchConfig(max_candidates=100, ranker="bm25"),
+        HybridConfig(semantic_k=100, nprobe=8),
+        num_shards=NUM_SHARDS,
+        parallel=True,
+        vector=vector,
+        seed=scale.seed,
+    )
+
+    # -- vocabulary-gap recall per retrieval mode ----------------------------
+    requests = _gap_queries(rng)
+    recalls = {mode: [] for mode in ("lexical", "semantic", "hybrid")}
+    for query, rewrites, category, audience in requests:
+        relevant = _relevant_ids(catalog, category, audience)
+        for mode in recalls:
+            outcome = engine.search(query, rewrites, mode=mode)
+            recalls[mode].append(_recall_at_k(outcome.doc_ids, relevant, RECALL_K))
+    recall = {mode: float(np.mean(values)) for mode, values in recalls.items()}
+
+    # -- ANN vs brute force on one flat 50k index ----------------------------
+    flat = VectorIndex(
+        encoder.config.output_dim, num_clusters=ANN_CLUSTERS, seed=scale.seed
+    )
+    flat.fit(doc_ids, embeddings, iterations=8)
+
+    query_texts = [q for q, _, _, _ in requests] + [
+        " ".join(p.title_tokens) for p in catalog.products[: NUM_ANN_QUERIES - len(requests)]
+    ]
+    query_vecs = encoder.encode_queries(query_texts)
+    exact = [
+        [doc_id for _, doc_id in flat.brute_force(q, RECALL_K)] for q in query_vecs
+    ]
+
+    chosen_nprobe = NPROBE_SWEEP[-1]
+    matched_recall = 0.0
+    for nprobe in NPROBE_SWEEP:
+        overlaps = []
+        for q, truth in zip(query_vecs, exact):
+            got = {doc_id for _, doc_id in flat.search(q, RECALL_K, nprobe=nprobe)}
+            overlaps.append(len(got & set(truth)) / len(truth))
+        matched_recall = float(np.mean(overlaps))
+        if matched_recall >= MATCHED_RECALL_FLOOR:
+            chosen_nprobe = nprobe
+            break
+
+    started = time.perf_counter()
+    for _ in range(TIMING_ROUNDS):
+        for q in query_vecs:
+            flat.brute_force(q, RECALL_K)
+    brute_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(TIMING_ROUNDS):
+        for q in query_vecs:
+            flat.search(q, RECALL_K, nprobe=chosen_nprobe)
+    ann_seconds = time.perf_counter() - started
+    total_queries = TIMING_ROUNDS * len(query_vecs)
+
+    # -- churn through the hybrid engine (all tiers in lockstep) -------------
+    generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
+    churn_rng = np.random.default_rng(scale.seed + 2)
+    fresh = generator.sample_products(
+        CHURN_DOCS, churn_rng, start_id=catalog.next_product_id()
+    )
+    for product in fresh:
+        engine.add_product(product)
+    removed = fresh[: CHURN_DOCS // 2]
+    for product in removed:
+        engine.remove_product(product.product_id)
+    removed_ids = {p.product_id for p in removed}
+
+    # The vector tier must never surface a delisted product, even when
+    # probed with the delisted product's own (most favorable) embedding.
+    dead_hits = 0
+    for product in removed:
+        probe = encoder.encode_title(list(product.title_tokens))
+        hits = engine.vector.search(probe, 50)
+        dead_hits += sum(1 for _, doc_id in hits if doc_id in removed_ids)
+    for query, rewrites, _, _ in requests[:10]:
+        outcome = engine.search(query, rewrites, mode="semantic")
+        dead_hits += sum(1 for doc_id in outcome.doc_ids if doc_id in removed_ids)
+
+    kept = fresh[-1]
+    kept_vec = encoder.encode_title(list(kept.title_tokens))
+    kept_ids = [doc_id for _, doc_id in engine.vector.search(kept_vec, 20, nprobe=64)]
+    probe_found = (
+        kept.product_id in kept_ids
+        and kept.product_id in engine.search(" ".join(kept.title_tokens), mode="lexical").doc_ids
+    )
+    docs_after_churn = len(engine.vector)
+    engine.close()
+
+    measured = {
+        "docs_indexed": TARGET_DOCS,
+        "num_gap_queries": len(requests),
+        "recall_k": RECALL_K,
+        "lexical_recall": recall["lexical"],
+        "semantic_recall": recall["semantic"],
+        "hybrid_recall": recall["hybrid"],
+        "ann_clusters": ANN_CLUSTERS,
+        "ann_nprobe": chosen_nprobe,
+        "ann_matched_recall": matched_recall,
+        "brute_ms_per_query": brute_seconds * 1000.0 / total_queries,
+        "ann_ms_per_query": ann_seconds * 1000.0 / total_queries,
+        "ann_speedup": brute_seconds / ann_seconds,
+        "churn_docs_added": CHURN_DOCS,
+        "churn_docs_removed": CHURN_DOCS // 2,
+        "docs_after_churn": docs_after_churn,
+        "churn_dead_hits": dead_hits,
+        "churn_probe_found": bool(probe_found),
+    }
+    rows = [
+        ["lexical (BM25 + rewrites)", f"recall@10 {recall['lexical']:.3f}", "-"],
+        ["semantic (IVF ANN)", f"recall@10 {recall['semantic']:.3f}", "-"],
+        ["hybrid (RRF fusion)", f"recall@10 {recall['hybrid']:.3f}", "-"],
+        [
+            "brute-force dot product",
+            f"{measured['brute_ms_per_query']:.3f} ms/q",
+            "-",
+        ],
+        [
+            f"IVF probe (nprobe={chosen_nprobe}/{ANN_CLUSTERS})",
+            f"{measured['ann_ms_per_query']:.3f} ms/q",
+            f"{measured['ann_speedup']:.1f}x at recall {matched_recall:.3f}",
+        ],
+        [
+            "churn (lockstep tiers)",
+            f"+{CHURN_DOCS}/-{CHURN_DOCS // 2} docs",
+            f"dead hits {dead_hits}, probe {'hit' if probe_found else 'MISS'}",
+        ],
+    ]
+    rendered = ascii_table(["path", "result", "notes"], rows, float_format="{:.3f}")
+    return ExperimentResult(
+        experiment_id="hybrid_retrieval",
+        title="Hybrid lexical/semantic retrieval over the vocabulary gap",
+        measured=measured,
+        paper={
+            "claim": "semantic matching recovers queries term matching cannot serve",
+            "scale": "dense retrieval tier next to the production inverted index",
+        },
+        rendered=rendered,
+        notes=(
+            "Gap queries use query-side vocabulary only (aliases, colloquial "
+            "category names, vague words), so lexical recall is structurally "
+            "zero; the ANN comparison holds top-10 agreement with brute force "
+            f"at >= {MATCHED_RECALL_FLOOR:.2f} while timing both on the same "
+            "50k embedding matrix."
+        ),
+    )

@@ -25,6 +25,7 @@ class VirtualClock:
         self._now = float(start)
 
     def now(self) -> float:
+        """Current virtual time in seconds."""
         return self._now
 
     def advance(self, seconds: float) -> float:

@@ -82,6 +82,7 @@ class ChurnEvent:
 
     @property
     def categories(self) -> frozenset[str]:
+        """Every category this event touched (drives cache invalidation)."""
         return frozenset(p.category for p in self.added) | frozenset(
             category for _, category in self.removed
         )
@@ -111,18 +112,22 @@ class ReplayReport:
 
     @property
     def qps(self) -> float:
+        """Wall-clock request throughput of this arm."""
         return self.requests / self.seconds if self.seconds > 0 else 0.0
 
     @property
     def stale_rate(self) -> float:
+        """Lifetime stale-serve fraction (see :class:`WindowedStats`)."""
         return self.stats.lifetime_stale_rate
 
     @property
     def empty_rate(self) -> float:
+        """Lifetime empty-serve fraction."""
         return self.stats.lifetime_empty_rate
 
     @property
     def stale_or_empty_rate(self) -> float:
+        """Lifetime degraded-serve fraction (stale OR empty counts once)."""
         return self.stats.lifetime_stale_or_empty_rate
 
 
@@ -175,6 +180,7 @@ class TrafficReplay:
 
     @property
     def num_churn_events(self) -> int:
+        """Churn events in the precomputed schedule."""
         return sum(1 for kind, _ in self._schedule if kind == "churn")
 
     # -- schedule ------------------------------------------------------------

@@ -63,6 +63,7 @@ class WindowedStats:
         stale: bool = False,
         empty: bool = False,
     ) -> None:
+        """Record one serve: O(log w) locate + O(w) in-window shift."""
         if len(self._records) == self.window:
             old_latency, old_hit, old_stale, old_empty = self._records.popleft()
             del self._sorted[bisect_left(self._sorted, old_latency)]
@@ -89,17 +90,21 @@ class WindowedStats:
     # -- windowed gauges -----------------------------------------------------
     @property
     def hit_rate(self) -> float:
+        """Cache-hit fraction over the current window."""
         return self._hits / len(self._records) if self._records else 0.0
 
     @property
     def stale_rate(self) -> float:
+        """Stale-serve fraction over the current window."""
         return self._stale / len(self._records) if self._records else 0.0
 
     @property
     def empty_rate(self) -> float:
+        """Empty-serve fraction over the current window."""
         return self._empty / len(self._records) if self._records else 0.0
 
     def mean_latency_ms(self) -> float:
+        """Mean latency over the window (O(1): a maintained running sum)."""
         return self._latency_sum / len(self._records) if self._records else 0.0
 
     def percentile_latency_ms(self, q: float) -> float:
@@ -111,29 +116,36 @@ class WindowedStats:
         return self._sorted[math.ceil(q * len(self._sorted)) - 1]
 
     def p50_latency_ms(self) -> float:
+        """Windowed median latency."""
         return self.percentile_latency_ms(0.50)
 
     def p95_latency_ms(self) -> float:
+        """Windowed 95th-percentile latency."""
         return self.percentile_latency_ms(0.95)
 
     def p99_latency_ms(self) -> float:
+        """Windowed 99th-percentile latency."""
         return self.percentile_latency_ms(0.99)
 
     # -- lifetime gauges -----------------------------------------------------
     @property
     def lifetime_hit_rate(self) -> float:
+        """Cache-hit fraction over the whole run, never windowed away."""
         return self.total_hits / self.total_requests if self.total_requests else 0.0
 
     @property
     def lifetime_stale_rate(self) -> float:
+        """Stale-serve fraction over the whole run."""
         return self.total_stale / self.total_requests if self.total_requests else 0.0
 
     @property
     def lifetime_empty_rate(self) -> float:
+        """Empty-serve fraction over the whole run."""
         return self.total_empty / self.total_requests if self.total_requests else 0.0
 
     @property
     def lifetime_stale_or_empty_rate(self) -> float:
+        """Degraded-serve fraction (stale OR empty counts once)."""
         if not self.total_requests:
             return 0.0
         return self.total_stale_or_empty / self.total_requests

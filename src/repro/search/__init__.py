@@ -13,10 +13,16 @@ production-shaped engine:
   (:mod:`repro.search.ranking`);
 * a **ShardedIndex** of single-writer shards with parallel fan-out search,
   global-statistics ranking, and incremental ``add_document`` /
-  ``remove_document`` (:mod:`repro.search.sharded`).
+  ``remove_document`` (:mod:`repro.search.sharded`);
+* a **semantic tier**: an IVF-clustered ANN index over dual-encoder
+  embeddings (:mod:`repro.search.vector`) and a
+  :class:`HybridSearchEngine` fusing lexical and semantic top-k lists
+  per request — ``lexical | semantic | hybrid`` retrieval modes
+  (:mod:`repro.search.hybrid`).
 
-``docs/RETRIEVAL.md`` documents the layout, the postings cost model, and
-how Section III-H maps onto all of this.
+``docs/RETRIEVAL.md`` documents the lexical layout, the postings cost
+model, and how Section III-H maps onto all of this;
+``docs/SEMANTIC.md`` documents the vector tier and the fusion math.
 """
 
 from repro.search.inverted_index import IndexStats, InvertedIndex, RetrievalResult
@@ -37,7 +43,24 @@ from repro.search.syntax_tree import (
     tree_size,
 )
 from repro.search.engine import SearchEngine, SearchConfig, SearchOutcome
-from repro.search.sharded import ShardedIndex, ShardedOutcome, ShardedSearchEngine
+from repro.search.sharded import (
+    ShardedIndex,
+    ShardedOutcome,
+    ShardedSearchEngine,
+    merge_topk,
+)
+from repro.search.vector import (
+    ShardedVectorIndex,
+    VectorIndex,
+    spherical_kmeans,
+)
+from repro.search.hybrid import (
+    RETRIEVAL_MODES,
+    HybridConfig,
+    HybridSearchEngine,
+    reciprocal_rank_fusion,
+    weighted_score_fusion,
+)
 
 __all__ = [
     "InvertedIndex",
@@ -62,4 +85,13 @@ __all__ = [
     "ShardedIndex",
     "ShardedOutcome",
     "ShardedSearchEngine",
+    "merge_topk",
+    "VectorIndex",
+    "ShardedVectorIndex",
+    "spherical_kmeans",
+    "RETRIEVAL_MODES",
+    "HybridConfig",
+    "HybridSearchEngine",
+    "reciprocal_rank_fusion",
+    "weighted_score_fusion",
 ]

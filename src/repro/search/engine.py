@@ -36,7 +36,14 @@ class SearchConfig:
 
 @dataclass
 class SearchOutcome:
-    """Everything one retrieval produced, including system-cost accounting."""
+    """Everything one retrieval produced, including system-cost accounting.
+
+    ``scores`` is parallel to ``doc_ids`` (ranker scores for lexical and
+    hybrid-fused retrievals, exact dot products for semantic ones);
+    ``mode`` records which retrieval tier produced the result —
+    ``"lexical"`` unless a :class:`~repro.search.hybrid.HybridSearchEngine`
+    served the request in another mode.
+    """
 
     query: str
     rewrites: list[str]
@@ -44,6 +51,8 @@ class SearchOutcome:
     postings_accessed: int
     tree_nodes: int
     num_trees: int
+    scores: list[float] = field(default_factory=list)
+    mode: str = "lexical"
 
     def __len__(self) -> int:
         return len(self.doc_ids)
@@ -103,16 +112,17 @@ class SearchEngine:
             docs = union_sorted(branches)
             num_trees = len(queries)
 
-        ranked = self.ranker.rank(
+        ranked = self.ranker.rank_scored(
             self.index, queries[0], docs, self.config.max_candidates
         )
         return SearchOutcome(
             query=query,
             rewrites=list(rewrites),
-            doc_ids=ranked,
+            doc_ids=[doc_id for _, doc_id in ranked],
             postings_accessed=cost,
             tree_nodes=nodes,
             num_trees=num_trees,
+            scores=[score for score, _ in ranked],
         )
 
     # -- cost comparison (Section III-H experiment) ---------------------------------

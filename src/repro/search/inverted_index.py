@@ -56,6 +56,7 @@ class IndexStats:
     document_frequencies: dict[str, int]
 
     def document_frequency(self, token: str) -> int:
+        """Documents containing ``token`` under these statistics (0 if unseen)."""
         return self.document_frequencies.get(token, 0)
 
 
@@ -81,18 +82,27 @@ class InvertedIndex:
 
     @property
     def num_terms(self) -> int:
+        """Distinct tokens with at least one live posting."""
         return len(self._postings)
 
     @property
     def total_doc_length(self) -> int:
+        """Sum of all live document lengths (kept as an exact integer)."""
         return self._total_length
 
     @property
     def avg_doc_length(self) -> float:
+        """Mean document length — BM25's length-normalization pivot."""
         return self._total_length / len(self._docs) if self._docs else 0.0
 
     # -- incremental maintenance ----------------------------------------------
     def add_document(self, doc_id: int, tokens: list[str] | tuple[str, ...]) -> None:
+        """Index one document: O(distinct tokens · log postings) bisection.
+
+        Postings stay sorted under out-of-order doc ids; corpus
+        statistics update online; cached numpy views of touched tokens
+        are invalidated.  Raises on duplicate ids.
+        """
         if doc_id in self._docs:
             raise ValueError(f"document {doc_id} already indexed")
         tokens = tuple(tokens)
@@ -112,6 +122,7 @@ class InvertedIndex:
             self._array_cache.pop(token, None)
 
     def remove_document(self, doc_id: int) -> None:
+        """Unindex one document, the exact inverse of :meth:`add_document`."""
         if doc_id not in self._docs:
             raise KeyError(f"document {doc_id} not indexed")
         tokens = self._docs.pop(doc_id)
@@ -128,12 +139,15 @@ class InvertedIndex:
 
     # -- lookups ---------------------------------------------------------------
     def document(self, doc_id: int) -> tuple[str, ...]:
+        """The indexed token tuple of ``doc_id`` (KeyError if absent)."""
         return self._docs[doc_id]
 
     def doc_length(self, doc_id: int) -> int:
+        """Token count of ``doc_id`` (KeyError if absent)."""
         return self._doc_lengths[doc_id]
 
     def doc_length_array(self, doc_ids: np.ndarray) -> np.ndarray:
+        """Float64 length vector parallel to ``doc_ids`` (ranker gather)."""
         lengths = self._doc_lengths
         return np.fromiter(
             (lengths[d] for d in doc_ids.tolist()), dtype=np.float64, count=doc_ids.size
@@ -144,12 +158,15 @@ class InvertedIndex:
         return self._postings.get(token, [])
 
     def postings_length(self, token: str) -> int:
+        """Length of ``token``'s postings list — its retrieval cost."""
         return len(self._postings.get(token, ()))
 
     def document_frequency(self, token: str) -> int:
+        """Documents containing ``token`` (= postings length, by construction)."""
         return self.postings_length(token)
 
     def term_frequency(self, doc_id: int, token: str) -> int:
+        """Occurrences of ``token`` in ``doc_id`` (0 if absent): one bisection."""
         postings = self._postings.get(token)
         if not postings:
             return 0
@@ -180,9 +197,11 @@ class InvertedIndex:
         return cached
 
     def all_doc_ids(self) -> np.ndarray:
+        """Every live doc id, ascending (the empty-query candidate set)."""
         return as_postings_array(sorted(self._docs))
 
     def stats(self) -> IndexStats:
+        """Point-in-time corpus statistics snapshot (copies the df table)."""
         return IndexStats(
             num_docs=len(self._docs),
             avg_doc_length=self.avg_doc_length,
@@ -191,6 +210,7 @@ class InvertedIndex:
 
     # -- primitive retrievals (each reports its own cost) ----------------------
     def lookup(self, token: str) -> RetrievalResult:
+        """Single-term retrieval; charges the postings list it reads."""
         postings = self.postings(token)
         return RetrievalResult(doc_ids=set(postings), postings_accessed=len(postings))
 

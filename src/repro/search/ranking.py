@@ -2,9 +2,11 @@
 
 The seed engine sorted *every* candidate (O(n log n) per query) with a
 hard-wired term-overlap key.  Ranking is now a pluggable :class:`Ranker`
-protocol, and selection is a **bounded heap** (``heapq.nsmallest``,
-O(n log k)) so a query touching tens of thousands of candidates pays for
-its top-k, not for a total order of the candidate set.
+protocol, and selection is a **vectorized bounded top-k**
+(:func:`top_k_by_score`: ``numpy.partition`` threshold + a lexsort of
+the survivors, O(n + k log k)) so a query touching tens of thousands of
+candidates pays for its top-k, not for a total order of the candidate
+set.
 
 Two rankers ship:
 
@@ -21,11 +23,14 @@ Both rankers take the corpus statistics from the index by default; a
 :class:`~repro.search.inverted_index.IndexStats` override lets a sharded
 index rank every shard against *global* statistics, which keeps per-shard
 scores comparable during the fan-out merge.
+
+Thread safety: rankers are frozen dataclasses with no mutable state —
+one instance can rank on any number of threads concurrently, and
+``with_stats`` returns a new pinned copy rather than mutating.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass, replace
 from typing import Protocol, runtime_checkable
@@ -37,7 +42,26 @@ from repro.search.inverted_index import IndexStats, InvertedIndex
 
 @runtime_checkable
 class Ranker(Protocol):
-    """Orders candidate doc ids for a query; higher score = better."""
+    """Orders candidate doc ids for a query; higher score = better.
+
+    Invariants every implementation must hold (the engines, the shard
+    fan-out merge, and the hybrid fusion all lean on them):
+
+    1. **Determinism** — ``rank`` equals a full sort of the candidates by
+       ``(-score, doc_id)`` truncated to ``k``; ties always break by
+       ascending doc id (use :func:`top_k_by_score` to get this for
+       free).
+    2. **Agreement** — ``rank(...) == [d for _, d in rank_scored(...)]``,
+       and ``score_doc`` reproduces the vectorized score of the same
+       document bit for bit (IEEE-identical operation order).
+    3. **Candidate-bounded** — only doc ids from ``candidates`` may
+       appear in the result; the ranker retrieves nothing on its own.
+    4. **Statistics pinning** — ``with_stats`` returns a copy scoring
+       against the given corpus statistics and leaves ``self``
+       untouched; a statistics-free ranker may return itself.
+    5. **No mutation** — ranking reads the index but never writes it, so
+       rankers are safe to share across threads and engines.
+    """
 
     def rank(
         self,
@@ -74,14 +98,28 @@ class Ranker(Protocol):
 def top_k_by_score(
     doc_ids: np.ndarray, scores: np.ndarray, k: int
 ) -> list[tuple[float, int]]:
-    """Bounded-heap top-k of ``(score, doc_id)``, best score first.
+    """Bounded top-k of ``(score, doc_id)``, best score first.
 
-    ``heapq.nsmallest`` over ``(-score, doc_id)`` keeps a k-sized heap —
-    O(n log k) — and reproduces exactly what a full descending sort with
-    doc-id tie-break would select.
+    Selection semantics are exactly a full descending sort with doc-id
+    tie-break, truncated to ``k`` — but computed without ordering all n
+    candidates: ``numpy.partition`` finds the k-th score threshold in
+    O(n), only the ≥-threshold survivors (k plus score ties) are
+    lexsorted by ``(-score, doc_id)``.  O(n + m log m) for m survivors,
+    fully vectorized; every ranker and the vector tier select through
+    this one function, so ordering is deterministic everywhere.
     """
-    pairs = zip((-scores).tolist(), doc_ids.tolist())
-    return [(-neg, doc_id) for neg, doc_id in heapq.nsmallest(k, pairs)]
+    n = int(doc_ids.size)
+    if n == 0 or k <= 0:
+        return []
+    if k < n:
+        # k-th largest score; ties at the threshold survive to the sort
+        # below, where doc-id order decides which of them make the cut.
+        threshold = np.partition(scores, n - k)[n - k]
+        keep = scores >= threshold
+        doc_ids = doc_ids[keep]
+        scores = scores[keep]
+    order = np.lexsort((doc_ids, -scores))[:k]
+    return list(zip(scores[order].tolist(), doc_ids[order].tolist()))
 
 
 @dataclass(frozen=True)
@@ -93,9 +131,11 @@ class TermOverlapRanker:
     """
 
     def rank(self, index, query_tokens, candidates, k) -> list[int]:
+        """Top-``k`` doc ids by overlap score (see :class:`Ranker` #1/#2)."""
         return [doc_id for _, doc_id in self.rank_scored(index, query_tokens, candidates, k)]
 
     def rank_scored(self, index, query_tokens, candidates, k) -> list[tuple[float, int]]:
+        """Vectorized overlap scoring: one searchsorted gather per term."""
         if candidates.size == 0 or k <= 0:
             return []
         scores = np.zeros(candidates.size, dtype=np.int64)
@@ -111,23 +151,26 @@ class TermOverlapRanker:
         return top_k_by_score(candidates, scores, k)
 
     def score_doc(self, index, query_tokens, doc_id) -> float:
+        """Scalar mirror of :meth:`rank_scored` for one document."""
         return float(
             sum(index.term_frequency(doc_id, t) for t in sorted(set(query_tokens)))
         )
 
     def with_stats(self, stats: IndexStats) -> "TermOverlapRanker":
-        return self  # overlap is corpus-statistics-free
+        """Overlap is corpus-statistics-free, so the same instance works."""
+        return self
 
 
 @dataclass(frozen=True)
 class BM25Ranker:
-    """Okapi BM25 with a bounded-heap top-k selection."""
+    """Okapi BM25 (idf + length normalization) with bounded top-k selection."""
 
     k1: float = 1.5
     b: float = 0.75
     stats: IndexStats | None = None
 
     def with_stats(self, stats: IndexStats) -> "BM25Ranker":
+        """A copy pinned to explicit (e.g. global sharded) statistics."""
         return replace(self, stats=stats)
 
     def _corpus(self, index) -> tuple[int, float]:
@@ -144,9 +187,15 @@ class BM25Ranker:
         return math.log(1.0 + (num_docs - df + 0.5) / (df + 0.5))
 
     def rank(self, index, query_tokens, candidates, k) -> list[int]:
+        """Top-``k`` doc ids by BM25 score (see :class:`Ranker` #1/#2)."""
         return [doc_id for _, doc_id in self.rank_scored(index, query_tokens, candidates, k)]
 
     def rank_scored(self, index, query_tokens, candidates, k) -> list[tuple[float, int]]:
+        """Vectorized BM25 over the candidate vector.
+
+        One searchsorted gather per distinct query term, O(candidates)
+        arithmetic per term, then the shared bounded top-k selection.
+        """
         if candidates.size == 0 or k <= 0:
             return []
         num_docs, avgdl = self._corpus(index)
@@ -199,6 +248,7 @@ RANKERS = {
 
 
 def make_ranker(name: str) -> Ranker:
+    """Instantiate a registered ranker by its config-string name."""
     try:
         return RANKERS[name]()
     except KeyError:

@@ -45,6 +45,24 @@ from repro.search.syntax_tree import build_tree, merge_queries, tree_size
 from repro.text import tokenize
 
 
+def merge_topk(
+    per_shard: list[list[tuple[float, int]]], k: int
+) -> list[tuple[float, int]]:
+    """K-way merge of per-shard ``(score, doc_id)`` top-k lists.
+
+    Returns the global top-``k``, best score first, ties broken by
+    ascending doc id — exactly the order a single index ranking the union
+    would produce.  O(total · log k) via a bounded heap.  Pure function;
+    shared by the lexical (:class:`ShardedIndex`) and semantic
+    (:class:`~repro.search.vector.ShardedVectorIndex`) fan-outs.
+    """
+    merged = heapq.nsmallest(
+        k,
+        ((-score, doc_id) for top in per_shard for score, doc_id in top),
+    )
+    return [(-neg, doc_id) for neg, doc_id in merged]
+
+
 @dataclass
 class ShardedOutcome:
     """Global top-k plus per-shard accounting for one fan-out search."""
@@ -90,9 +108,11 @@ class ShardedIndex:
 
     # -- partitioning ---------------------------------------------------------
     def shard_of(self, doc_id: int) -> int:
+        """The owning shard: ``doc_id % num_shards``."""
         return doc_id % self.num_shards
 
     def shard_sizes(self) -> list[int]:
+        """Live document count per shard."""
         return [len(shard.index) for shard in self._shards]
 
     def __len__(self) -> int:
@@ -103,6 +123,11 @@ class ShardedIndex:
 
     # -- incremental maintenance ----------------------------------------------
     def add_document(self, doc_id: int, tokens: list[str] | tuple[str, ...]) -> None:
+        """Index one document in its owning shard (shard mutex only).
+
+        Global corpus statistics update under their own lock — O(distinct
+        tokens), never a full-vocabulary rescan.
+        """
         tokens = tuple(tokens)
         shard = self._shards[self.shard_of(doc_id)]
         with shard.lock:
@@ -114,6 +139,7 @@ class ShardedIndex:
                 self._dfs[token] = self._dfs.get(token, 0) + 1
 
     def remove_document(self, doc_id: int) -> None:
+        """Unindex one document from its owning shard, inverse of add."""
         shard = self._shards[self.shard_of(doc_id)]
         with shard.lock:
             tokens = shard.index.document(doc_id)
@@ -129,6 +155,7 @@ class ShardedIndex:
                     del self._dfs[token]
 
     def document(self, doc_id: int) -> tuple[str, ...]:
+        """The indexed token tuple of ``doc_id`` (KeyError if absent)."""
         return self._shards[self.shard_of(doc_id)].index.document(doc_id)
 
     def stats(self) -> IndexStats:
@@ -193,17 +220,10 @@ class ShardedIndex:
             shard_results = [search_shard(shard) for shard in self._shards]
 
         # Global top-k: k-way merge of the per-shard bounded heaps.
-        merged = heapq.nsmallest(
-            k,
-            (
-                (-score, doc_id)
-                for top, _, _ in shard_results
-                for score, doc_id in top
-            ),
-        )
+        merged = merge_topk([top for top, _, _ in shard_results], k)
         return ShardedOutcome(
             doc_ids=[doc_id for _, doc_id in merged],
-            scores=[-neg for neg, _ in merged],
+            scores=[score for score, _ in merged],
             postings_accessed=sum(cost for _, cost, _ in shard_results),
             per_shard_postings=[cost for _, cost, _ in shard_results],
             per_shard_candidates=[n for _, _, n in shard_results],
@@ -218,6 +238,7 @@ class ShardedIndex:
         return self._executor
 
     def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -255,9 +276,11 @@ class ShardedSearchEngine:
             self.index.add_document(product.product_id, product.title_tokens)
 
     def add_document(self, doc_id: int, tokens) -> None:
+        """Index a raw document (index only; see :meth:`add_product`)."""
         self.index.add_document(doc_id, tokens)
 
     def remove_document(self, doc_id: int) -> None:
+        """Unindex a raw document (index only; see :meth:`remove_product`)."""
         self.index.remove_document(doc_id)
 
     # -- catalog-level churn ---------------------------------------------------
@@ -278,6 +301,11 @@ class ShardedSearchEngine:
         self.index.remove_document(product_id)
 
     def search(self, query: str, rewrites: list[str] | None = None) -> SearchOutcome:
+        """Fan-out retrieval of ``query`` + rewrites over every shard.
+
+        One merged syntax tree (Section III-H), per-shard evaluation and
+        ranking against global statistics, exact global top-k merge.
+        """
         rewrites = rewrites or []
         queries = [tokenize(query)] + [tokenize(r) for r in rewrites]
         queries = [q for q in queries if q]
@@ -296,7 +324,9 @@ class ShardedSearchEngine:
             postings_accessed=outcome.postings_accessed,
             tree_nodes=outcome.tree_nodes,
             num_trees=1 if self.config.merge_trees else len(queries),
+            scores=outcome.scores,
         )
 
     def close(self) -> None:
+        """Shut down the underlying sharded index's thread pool."""
         self.index.close()

@@ -42,6 +42,7 @@ class SyntaxNode:
     """
 
     def evaluate(self, index: InvertedIndex) -> RetrievalResult:
+        """Set-semantics wrapper over :meth:`evaluate_postings`."""
         doc_ids, cost = self.evaluate_postings(index)
         return RetrievalResult(doc_ids=set(doc_ids.tolist()), postings_accessed=cost)
 
@@ -52,9 +53,11 @@ class SyntaxNode:
         raise NotImplementedError
 
     def size(self) -> int:  # pragma: no cover
+        """Node count of this subtree (the tree-construction cost proxy)."""
         raise NotImplementedError
 
     def terms(self) -> set[str]:  # pragma: no cover
+        """Distinct tokens mentioned anywhere in this subtree."""
         raise NotImplementedError
 
     def cost_estimate(self, index: InvertedIndex) -> int:  # pragma: no cover
@@ -66,19 +69,25 @@ class SyntaxNode:
 
 @dataclass(frozen=True)
 class TermNode(SyntaxNode):
+    """Leaf: one term's postings."""
+
     token: str
 
     def evaluate_postings(self, index: InvertedIndex) -> tuple[np.ndarray, int]:
+        """Read the term's postings vector; charges its full length."""
         postings = index.postings_array(self.token)
         return postings, postings.size
 
     def size(self) -> int:
+        """A leaf counts as one node."""
         return 1
 
     def terms(self) -> set[str]:
+        """Just this leaf's token."""
         return {self.token}
 
     def cost_estimate(self, index: InvertedIndex) -> int:
+        """Exactly the postings length — a leaf's cost is not an estimate."""
         return index.postings_length(self.token)
 
     def __repr__(self) -> str:
@@ -87,9 +96,12 @@ class TermNode(SyntaxNode):
 
 @dataclass(frozen=True)
 class AndNode(SyntaxNode):
+    """Conjunction: galloping intersection of its children, cheapest first."""
+
     children: tuple[SyntaxNode, ...]
 
     def evaluate_postings(self, index: InvertedIndex) -> tuple[np.ndarray, int]:
+        """Intersect children cheapest-first; stops charging when empty."""
         if not self.children:
             return EMPTY_POSTINGS, 0
         docs: np.ndarray | None = None
@@ -106,13 +118,15 @@ class AndNode(SyntaxNode):
         return (docs if docs is not None else EMPTY_POSTINGS), cost
 
     def size(self) -> int:
+        """One plus the sizes of all children."""
         return 1 + sum(c.size() for c in self.children)
 
     def terms(self) -> set[str]:
+        """Union of the children's token sets."""
         return set().union(*(c.terms() for c in self.children)) if self.children else set()
 
     def cost_estimate(self, index: InvertedIndex) -> int:
-        # Optimistic: an AND may break after its cheapest child.
+        """Optimistic: an AND may break after its cheapest child."""
         return min((c.cost_estimate(index) for c in self.children), default=0)
 
     def __repr__(self) -> str:
@@ -121,9 +135,12 @@ class AndNode(SyntaxNode):
 
 @dataclass(frozen=True)
 class OrNode(SyntaxNode):
+    """Disjunction: sorted k-way union of its children."""
+
     children: tuple[SyntaxNode, ...]
 
     def evaluate_postings(self, index: InvertedIndex) -> tuple[np.ndarray, int]:
+        """Evaluate every branch (an OR cannot early-exit) and union."""
         branches: list[np.ndarray] = []
         cost = 0
         for child in self.children:
@@ -133,13 +150,15 @@ class OrNode(SyntaxNode):
         return union_sorted(branches), cost
 
     def size(self) -> int:
+        """One plus the sizes of all children."""
         return 1 + sum(c.size() for c in self.children)
 
     def terms(self) -> set[str]:
+        """Union of the children's token sets."""
         return set().union(*(c.terms() for c in self.children)) if self.children else set()
 
     def cost_estimate(self, index: InvertedIndex) -> int:
-        # An OR must evaluate every branch.
+        """Sum over branches: an OR must evaluate every one."""
         return sum(c.cost_estimate(index) for c in self.children)
 
     def __repr__(self) -> str:

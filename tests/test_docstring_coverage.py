@@ -1,0 +1,69 @@
+"""Docstring coverage gate for the retrieval-facing packages.
+
+Every public module, class, function, method, and property under
+``repro.search``, ``repro.embedding``, and ``repro.online`` must carry a
+docstring.  CI runs this next to the docs-reachability check: the
+retrieval stack is the part of the codebase other layers program
+against, so its API surface documents itself or the build fails.
+
+"Public" means: module-level names not starting with ``_`` that are
+*defined* in the module (re-exports are checked where they are defined),
+plus non-dunder attributes defined directly on public classes.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+PACKAGES = ("repro.search", "repro.embedding", "repro.online")
+
+
+def _iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if not info.name.startswith("_"):
+                yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def _class_offenders(cls, module_name: str) -> list[str]:
+    offenders = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isfunction(member) and not member.__doc__:
+            offenders.append(f"{module_name}.{cls.__name__}.{name}")
+        elif isinstance(member, property):
+            if not (member.__doc__ or (member.fget and member.fget.__doc__)):
+                offenders.append(f"{module_name}.{cls.__name__}.{name} (property)")
+    return offenders
+
+
+def _offenders() -> list[str]:
+    offenders = []
+    for module in _iter_modules():
+        if not module.__doc__:
+            offenders.append(f"{module.__name__} (module)")
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; checked at its definition site
+            if not obj.__doc__:
+                offenders.append(f"{module.__name__}.{name}")
+            elif inspect.isclass(obj):
+                offenders.extend(_class_offenders(obj, module.__name__))
+    return sorted(set(offenders))
+
+
+def test_public_api_is_documented():
+    offenders = _offenders()
+    assert not offenders, (
+        "public names without docstrings (docs/SEMANTIC.md documents the "
+        f"expected format): {offenders}"
+    )

@@ -47,6 +47,72 @@ class TestEncodings:
         np.testing.assert_allclose(a, b, atol=1e-12)
 
 
+class TestBatchEncoding:
+    """Shape, normalization, and determinism of the batched encode APIs."""
+
+    TEXTS = [
+        "senior mobile phone",
+        "adidas running shoe",
+        ["huawei", "official", "mobile", "phone"],
+        "fresh imported fruit",
+    ]
+
+    def test_output_shape(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        out = encoder.encode_queries(self.TEXTS)
+        assert out.shape == (len(self.TEXTS), encoder.config.output_dim)
+        assert encoder.encode_titles(self.TEXTS).shape == out.shape
+
+    def test_rows_are_unit_norm(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        out = encoder.encode_queries(self.TEXTS)
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-9)
+
+    def test_batch_matches_single_encode(self, tiny_market):
+        """Padding in a mixed-length batch must not change any row."""
+        encoder = DualEncoder(tiny_market.vocab)
+        batched = encoder.encode_queries(self.TEXTS)
+        for row, text in zip(batched, self.TEXTS):
+            np.testing.assert_allclose(row, encoder.encode_query(text), atol=1e-12)
+
+    def test_chunking_invariance(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        small = encoder.encode_titles(self.TEXTS, batch_size=2)
+        large = encoder.encode_titles(self.TEXTS, batch_size=512)
+        np.testing.assert_allclose(small, large, atol=1e-12)
+
+    def test_same_seed_same_embeddings(self, tiny_market):
+        """Two encoders built from the same vocab+seed agree bit for bit."""
+        a = DualEncoder(tiny_market.vocab, DualEncoderConfig(seed=5))
+        b = DualEncoder(tiny_market.vocab, DualEncoderConfig(seed=5))
+        np.testing.assert_array_equal(
+            a.encode_queries(self.TEXTS), b.encode_queries(self.TEXTS)
+        )
+
+    def test_different_seed_differs(self, tiny_market):
+        a = DualEncoder(tiny_market.vocab, DualEncoderConfig(seed=5))
+        b = DualEncoder(tiny_market.vocab, DualEncoderConfig(seed=6))
+        assert not np.allclose(
+            a.encode_queries(self.TEXTS), b.encode_queries(self.TEXTS)
+        )
+
+    def test_empty_text_embeds_to_zero(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        out = encoder.encode_queries(["", "senior phone", ""])
+        np.testing.assert_array_equal(out[0], np.zeros(encoder.config.output_dim))
+        np.testing.assert_array_equal(out[2], np.zeros(encoder.config.output_dim))
+        assert np.linalg.norm(out[1]) == pytest.approx(1.0)
+
+    def test_no_texts(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        assert encoder.encode_queries([]).shape == (0, encoder.config.output_dim)
+
+    def test_bad_batch_size(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab)
+        with pytest.raises(ValueError):
+            encoder.encode_queries(self.TEXTS, batch_size=0)
+
+
 class TestTraining:
     def test_loss_decreases(self, trained_encoder):
         _, losses = trained_encoder

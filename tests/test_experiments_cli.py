@@ -23,6 +23,13 @@ class TestCli:
         }
         assert expected <= set(RUNNERS)
 
+    def test_registry_covers_scale_experiments(self):
+        expected = {
+            "serving", "serving_batched", "retrieval_scale",
+            "hybrid_retrieval", "online_replay",
+        }
+        assert expected <= set(RUNNERS)
+
     def test_scales_registered(self):
         assert set(SCALES) == {"small", "default"}
 

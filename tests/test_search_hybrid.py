@@ -1,0 +1,257 @@
+"""Hybrid lexical/semantic engine: fusion math, modes, churn lockstep."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import RewriteCache
+from repro.core.serving import ServingConfig, ServingPipeline
+from repro.data.catalog import CatalogConfig, CatalogGenerator
+from repro.embedding import DualEncoder, DualEncoderConfig
+from repro.search import (
+    HybridConfig,
+    HybridSearchEngine,
+    SearchConfig,
+    ShardedSearchEngine,
+    reciprocal_rank_fusion,
+    weighted_score_fusion,
+)
+
+
+class TestReciprocalRankFusion:
+    def test_agreement_outranks_single_list(self):
+        fused = reciprocal_rank_fusion([[1, 2, 3], [2, 4]], k=4)
+        assert fused[0][1] == 2  # in both lists
+        assert {doc for _, doc in fused} == {1, 2, 3, 4}
+
+    def test_scores_match_formula(self):
+        fused = dict(
+            (doc, score) for score, doc in reciprocal_rank_fusion([[7], [7]], k=1, rrf_k=60)
+        )
+        assert fused[7] == pytest.approx(2.0 / 61.0)
+
+    def test_ties_break_by_doc_id(self):
+        fused = reciprocal_rank_fusion([[9], [4]], k=2)
+        assert [doc for _, doc in fused] == [4, 9]
+
+    def test_k_bounds_output(self):
+        assert len(reciprocal_rank_fusion([[1, 2, 3, 4, 5]], k=2)) == 2
+
+    def test_bad_rrf_k(self):
+        with pytest.raises(ValueError):
+            reciprocal_rank_fusion([[1]], k=1, rrf_k=0)
+
+
+class TestWeightedScoreFusion:
+    def test_min_max_normalization(self):
+        lexical = [(10.0, 1), (0.0, 2)]
+        semantic = [(0.9, 2), (0.1, 1)]
+        fused = dict(
+            (doc, score)
+            for score, doc in weighted_score_fusion(lexical, semantic, k=2, alpha=0.5)
+        )
+        # doc 1: 0.5*1.0 + 0.5*0.0 ; doc 2: 0.5*0.0 + 0.5*1.0
+        assert fused[1] == pytest.approx(0.5)
+        assert fused[2] == pytest.approx(0.5)
+
+    def test_alpha_extremes_select_one_list(self):
+        lexical = [(5.0, 1), (1.0, 2)]
+        semantic = [(0.9, 3), (0.2, 4)]
+        lex_only = weighted_score_fusion(lexical, semantic, k=1, alpha=1.0)
+        sem_only = weighted_score_fusion(lexical, semantic, k=1, alpha=0.0)
+        assert lex_only[0][1] == 1
+        assert sem_only[0][1] == 3
+
+    def test_constant_list_normalizes_to_ones(self):
+        fused = weighted_score_fusion([(3.0, 1), (3.0, 2)], [], k=2, alpha=1.0)
+        assert [score for score, _ in fused] == [pytest.approx(1.0)] * 2
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            weighted_score_fusion([], [], k=1, alpha=1.5)
+
+
+@pytest.fixture(scope="module")
+def hybrid_engine(tiny_market):
+    encoder = DualEncoder(tiny_market.vocab, DualEncoderConfig(seed=0))
+    engine = HybridSearchEngine(
+        tiny_market.catalog,
+        encoder,
+        SearchConfig(max_candidates=20, ranker="bm25"),
+        num_shards=2,
+        num_clusters=4,
+        parallel=False,
+        seed=0,
+    )
+    yield engine
+    engine.close()
+
+
+class TestHybridSearchEngine:
+    def test_lexical_mode_matches_sharded_engine(self, hybrid_engine, tiny_market):
+        reference = ShardedSearchEngine(
+            tiny_market.catalog,
+            SearchConfig(max_candidates=20, ranker="bm25"),
+            num_shards=2,
+            parallel=False,
+        )
+        ours = hybrid_engine.search("senior mobile phone", mode="lexical")
+        theirs = reference.search("senior mobile phone")
+        assert ours.doc_ids == theirs.doc_ids
+        assert ours.mode == "lexical"
+        reference.close()
+
+    def test_semantic_mode_touches_no_postings(self, hybrid_engine):
+        outcome = hybrid_engine.search("senior mobile phone", mode="semantic")
+        assert outcome.mode == "semantic"
+        assert outcome.postings_accessed == 0
+        assert outcome.doc_ids
+        assert len(outcome.scores) == len(outcome.doc_ids)
+
+    def test_every_mode_honors_max_candidates(self, hybrid_engine):
+        """semantic_k (100) feeds fusion; returned lists cap at top-k (20)."""
+        k = hybrid_engine.lexical.config.max_candidates
+        assert hybrid_engine.config.semantic_k > k
+        for mode in ("lexical", "semantic", "hybrid"):
+            outcome = hybrid_engine.search("senior mobile phone", mode=mode)
+            assert len(outcome.doc_ids) <= k, mode
+
+    def test_hybrid_unions_both_tiers(self, hybrid_engine):
+        lexical = hybrid_engine.search("senior mobile phone", mode="lexical")
+        semantic = hybrid_engine.search("senior mobile phone", mode="semantic")
+        hybrid = hybrid_engine.search("senior mobile phone", mode="hybrid")
+        assert hybrid.mode == "hybrid"
+        assert set(hybrid.doc_ids) <= set(lexical.doc_ids) | set(semantic.doc_ids)
+        # RRF puts tier-agreement first: the top fused doc is in both lists
+        # whenever any doc is.
+        both = set(lexical.doc_ids) & set(semantic.doc_ids)
+        if both:
+            assert hybrid.doc_ids[0] in both
+
+    def test_unknown_mode_raises(self, hybrid_engine):
+        with pytest.raises(ValueError):
+            hybrid_engine.search("phone", mode="psychic")
+
+    def test_weighted_fusion_config(self, tiny_market):
+        encoder = DualEncoder(tiny_market.vocab, DualEncoderConfig(seed=0))
+        engine = HybridSearchEngine(
+            tiny_market.catalog,
+            encoder,
+            SearchConfig(max_candidates=10, ranker="bm25"),
+            HybridConfig(fusion="weighted", alpha=0.7),
+            num_shards=2,
+            parallel=False,
+        )
+        outcome = engine.search("senior mobile phone")
+        assert outcome.mode == "hybrid"
+        assert outcome.doc_ids
+        engine.close()
+
+    def test_bad_fusion_config(self):
+        with pytest.raises(ValueError):
+            HybridConfig(fusion="mystery")
+
+    def test_bad_config_knobs_rejected_at_construction(self):
+        for bad in (
+            dict(nprobe=0),
+            dict(semantic_k=0),
+            dict(rrf_k=0),
+            dict(alpha=1.5),
+            dict(default_mode="psychic"),
+        ):
+            with pytest.raises(ValueError):
+                HybridConfig(**bad)
+
+    def test_rejected_add_rolls_back_every_tier(self, hybrid_engine, tiny_market):
+        """A vector-tier rejection must not leave the product lexical-only."""
+        generator = CatalogGenerator(CatalogConfig(seed=11))
+        product = generator.sample_product(
+            "shoe", tiny_market.catalog.next_product_id(), np.random.default_rng(11)
+        )
+        # Pre-occupy the id in the vector tier so its add_document raises
+        # after the lexical add succeeded.
+        hybrid_engine.vector.add_document(product.product_id, np.zeros(32))
+        with pytest.raises(ValueError):
+            hybrid_engine.add_product(product)
+        assert product.product_id not in tiny_market.catalog
+        assert product.product_id not in hybrid_engine.lexical.index
+        hybrid_engine.vector.remove_document(product.product_id)
+
+    def test_remove_unknown_product_touches_nothing(self, hybrid_engine, tiny_market):
+        before = len(tiny_market.catalog)
+        with pytest.raises(KeyError):
+            hybrid_engine.remove_product(10_000_000)
+        assert len(tiny_market.catalog) == before
+        assert len(hybrid_engine.vector) == before
+
+    def test_churn_updates_all_tiers_in_lockstep(self, hybrid_engine, tiny_market):
+        generator = CatalogGenerator(CatalogConfig(seed=3))
+        rng = np.random.default_rng(3)
+        product = generator.sample_product(
+            "phone", tiny_market.catalog.next_product_id(), rng
+        )
+        hybrid_engine.add_product(product)
+        assert product.product_id in tiny_market.catalog
+        assert product.product_id in hybrid_engine.lexical.index
+        assert product.product_id in hybrid_engine.vector
+
+        hybrid_engine.remove_product(product.product_id)
+        assert product.product_id not in tiny_market.catalog
+        assert product.product_id not in hybrid_engine.lexical.index
+        assert product.product_id not in hybrid_engine.vector
+        # the vector tier must never surface the delisted product again
+        title = " ".join(product.title_tokens)
+        for mode in ("lexical", "semantic", "hybrid"):
+            assert product.product_id not in hybrid_engine.search(title, mode=mode).doc_ids
+
+
+class TestPipelineRetrievalModes:
+    def make_pipeline(self, engine):
+        cache = RewriteCache()
+        cache.put("senior mobile phone", ["grandpa cellphone"])
+        return ServingPipeline(
+            cache, None, ServingConfig(max_rewrites=2), search_engine=engine
+        )
+
+    def test_per_request_modes(self, hybrid_engine):
+        pipeline = self.make_pipeline(hybrid_engine)
+        results = pipeline.search_batch(
+            ["senior mobile phone"] * 3, modes=["lexical", "semantic", "hybrid"]
+        )
+        assert all(r.doc_ids for r in results)
+        assert pipeline.stats.search_by_mode == {
+            "lexical": 1, "semantic": 1, "hybrid": 1,
+        }
+
+    def test_single_mode_broadcasts(self, hybrid_engine):
+        pipeline = self.make_pipeline(hybrid_engine)
+        pipeline.search_batch(["senior mobile phone"] * 2, modes="semantic")
+        assert pipeline.stats.search_by_mode == {"semantic": 2}
+
+    def test_default_mode_is_engines_default(self, hybrid_engine):
+        pipeline = self.make_pipeline(hybrid_engine)
+        pipeline.search_batch(["senior mobile phone"])
+        assert pipeline.stats.search_by_mode == {"hybrid": 1}
+
+    def test_untokenizable_request_tallies_under_default_mode(self, hybrid_engine):
+        """A skipped retrieval still lands in the mode that would have run."""
+        pipeline = self.make_pipeline(hybrid_engine)
+        results = pipeline.search_batch(["!!!"])
+        assert results[0].doc_ids == []
+        assert pipeline.stats.search_by_mode == {"hybrid": 1}
+
+    def test_mode_count_mismatch_raises(self, hybrid_engine):
+        pipeline = self.make_pipeline(hybrid_engine)
+        with pytest.raises(ValueError):
+            pipeline.search_batch(["a", "b"], modes=["lexical"])
+
+    def test_lexical_only_engine_rejects_semantic(self, tiny_market):
+        engine = ShardedSearchEngine(
+            tiny_market.catalog, SearchConfig(ranker="bm25"), num_shards=2, parallel=False
+        )
+        pipeline = self.make_pipeline(engine)
+        with pytest.raises(ValueError, match="not supported"):
+            pipeline.search_batch(["senior mobile phone"], modes="semantic")
+        # but explicit lexical passes through
+        results = pipeline.search_batch(["senior mobile phone"], modes="lexical")
+        assert results[0].doc_ids
+        engine.close()

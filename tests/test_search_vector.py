@@ -1,0 +1,226 @@
+"""IVF vector index: clustering, probe search, churn, sharded fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.search import (
+    ShardedVectorIndex,
+    VectorIndex,
+    spherical_kmeans,
+)
+
+
+def unit_rows(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = rng.normal(size=(n, dim))
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+def assert_same_ranking(got, expected):
+    """Same doc order; scores equal up to BLAS summation-order ulps."""
+    assert [doc for _, doc in got] == [doc for _, doc in expected]
+    np.testing.assert_allclose(
+        [score for score, _ in got], [score for score, _ in expected], rtol=1e-12
+    )
+
+
+class TestSphericalKmeans:
+    def test_shape_and_unit_norm(self):
+        vectors = unit_rows(200, 8)
+        centroids = spherical_kmeans(vectors, 10, np.random.default_rng(0))
+        assert centroids.shape == (10, 8)
+        np.testing.assert_allclose(np.linalg.norm(centroids, axis=1), 1.0, atol=1e-9)
+
+    def test_deterministic_for_seed(self):
+        vectors = unit_rows(100, 4)
+        a = spherical_kmeans(vectors, 5, np.random.default_rng(7))
+        b = spherical_kmeans(vectors, 5, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_fewer_vectors_than_clusters(self):
+        vectors = unit_rows(3, 4)
+        centroids = spherical_kmeans(vectors, 10, np.random.default_rng(0))
+        assert centroids.shape == (3, 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            spherical_kmeans(np.empty((0, 4)), 2, np.random.default_rng(0))
+
+    def test_separates_obvious_clusters(self):
+        """Two antipodal blobs must get centroids near each pole."""
+        rng = np.random.default_rng(1)
+        pole = np.zeros(6)
+        pole[0] = 1.0
+        a = pole + 0.05 * rng.normal(size=(50, 6))
+        b = -pole + 0.05 * rng.normal(size=(50, 6))
+        vectors = np.concatenate([a, b])
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        centroids = spherical_kmeans(vectors, 2, np.random.default_rng(0))
+        first = centroids @ pole
+        assert (first > 0.9).any() and (first < -0.9).any()
+
+
+class TestVectorIndex:
+    def build(self, n=300, dim=8, clusters=8, seed=0):
+        vectors = unit_rows(n, dim, seed)
+        index = VectorIndex(dim, num_clusters=clusters, nprobe=4, seed=seed)
+        index.fit(list(range(n)), vectors)
+        return index, vectors
+
+    def test_fit_buckets_everything(self):
+        index, _ = self.build()
+        assert len(index) == 300
+        assert index.trained
+        assert sum(index.cell_sizes()) == 300
+
+    def test_full_probe_equals_brute_force(self):
+        index, vectors = self.build()
+        query = vectors[17]
+        exact = index.brute_force(query, 10)
+        assert_same_ranking(
+            index.search(query, 10, nprobe=len(index.cell_sizes())), exact
+        )
+        # and the document itself is its own nearest neighbour
+        assert exact[0][1] == 17
+
+    def test_probe_search_scores_are_exact(self):
+        """Approximation is WHICH cells get probed; scores are exact dots."""
+        index, vectors = self.build()
+        query = unit_rows(1, 8, seed=9)[0]
+        for score, doc_id in index.search(query, 5, nprobe=2):
+            assert score == pytest.approx(float(vectors[doc_id] @ query))
+
+    def test_untrained_index_is_exact(self):
+        vectors = unit_rows(50, 4)
+        index = VectorIndex(4, num_clusters=8)
+        for i, vec in enumerate(vectors):
+            index.add_document(i, vec)
+        assert not index.trained
+        query = vectors[3]
+        assert index.search(query, 5) == index.brute_force(query, 5)
+
+    def test_add_after_fit_is_searchable(self):
+        index, _ = self.build()
+        fresh = unit_rows(1, 8, seed=42)[0]
+        index.add_document(1000, fresh)
+        assert 1000 in index
+        assert index.search(fresh, 1)[0][1] == 1000
+
+    def test_removed_document_never_surfaces(self):
+        index, vectors = self.build()
+        index.remove_document(17)
+        assert 17 not in index
+        hits = index.search(vectors[17], 300, nprobe=len(index.cell_sizes()))
+        assert 17 not in [doc_id for _, doc_id in hits]
+        assert len(index) == 299
+
+    def test_duplicate_and_missing_ids_raise(self):
+        index, vectors = self.build()
+        with pytest.raises(ValueError):
+            index.add_document(17, vectors[0])
+        with pytest.raises(KeyError):
+            index.remove_document(99999)
+
+    def test_dim_mismatch_raises(self):
+        index = VectorIndex(4)
+        with pytest.raises(ValueError):
+            index.add_document(0, np.zeros(5))
+
+    def test_ties_break_by_doc_id(self):
+        index = VectorIndex(2, num_clusters=1)
+        vec = np.array([1.0, 0.0])
+        for doc_id in (5, 3, 9):
+            index.add_document(doc_id, vec)
+        assert [d for _, d in index.search(vec, 3)] == [3, 5, 9]
+
+    def test_empty_and_zero_k(self):
+        index = VectorIndex(4)
+        assert index.search(np.zeros(4), 5) == []
+        index.add_document(0, unit_rows(1, 4)[0])
+        assert index.search(np.zeros(4), 0) == []
+
+    def test_nonpositive_nprobe_rejected(self):
+        """Per-call overrides get the same validation as the constructor:
+        nprobe=0 would silently probe nothing, negative values would
+        select 'all but the last n' cells via argpartition."""
+        index, vectors = self.build()
+        for nprobe in (0, -2):
+            with pytest.raises(ValueError):
+                index.search(vectors[0], 5, nprobe=nprobe)
+
+    def test_fit_error_names_repeated_ids(self):
+        index = VectorIndex(4)
+        with pytest.raises(ValueError, match=r"\[7\]"):
+            index.fit([7, 7], unit_rows(2, 4))
+
+    def test_index_never_aliases_caller_buffers(self):
+        """Mutating a buffer after add/fit must not corrupt the index."""
+        index = VectorIndex(4, num_clusters=2)
+        buffer = unit_rows(1, 4)[0]
+        index.add_document(0, buffer)
+        buffer[:] = 0.0
+        assert np.linalg.norm(index.document(0)) == pytest.approx(1.0)
+
+        matrix = unit_rows(10, 4, seed=3)
+        index.fit(list(range(1, 11)), matrix)
+        matrix[:] = 0.0
+        index.fit()  # a re-fit re-buckets from stored vectors, not the buffer
+        query = unit_rows(1, 4, seed=4)[0]
+        assert all(score != 0.0 for score, _ in index.brute_force(query, 5))
+
+    def test_refit_rebalances_incremental_adds(self):
+        vectors = unit_rows(100, 8)
+        index = VectorIndex(8, num_clusters=4)
+        for i, vec in enumerate(vectors):
+            index.add_document(i, vec)
+        index.fit()
+        assert index.trained
+        assert len(index) == 100
+        query = vectors[0]
+        assert_same_ranking(
+            index.search(query, 5, nprobe=4), index.brute_force(query, 5)
+        )
+
+
+class TestShardedVectorIndex:
+    def build(self, n=400, dim=8, shards=4):
+        vectors = unit_rows(n, dim, seed=2)
+        index = ShardedVectorIndex(
+            dim, num_shards=shards, num_clusters=4, nprobe=2, parallel=False
+        )
+        index.fit(list(range(n)), vectors)
+        return index, vectors
+
+    def test_routing_and_sizes(self):
+        index, _ = self.build()
+        assert len(index) == 400
+        assert index.shard_sizes() == [100, 100, 100, 100]
+        assert 3 in index and 400 not in index
+
+    def test_full_probe_merge_equals_global_brute_force(self):
+        """Exact per-shard search + merge_topk == one global exact search."""
+        index, vectors = self.build()
+        flat = VectorIndex(8, num_clusters=1)
+        for i, vec in enumerate(vectors):
+            flat.add_document(i, vec)
+        query = unit_rows(1, 8, seed=5)[0]
+        assert_same_ranking(index.search(query, 10, nprobe=100), flat.brute_force(query, 10))
+
+    def test_parallel_matches_serial(self):
+        index, vectors = self.build()
+        with ShardedVectorIndex(
+            8, num_shards=4, num_clusters=4, nprobe=2, parallel=True
+        ) as parallel:
+            parallel.fit(list(range(400)), vectors)
+            query = vectors[11]
+            assert parallel.search(query, 10) == index.search(query, 10)
+
+    def test_churn_is_shard_local(self):
+        index, vectors = self.build()
+        index.remove_document(42)
+        fresh = unit_rows(1, 8, seed=77)[0]
+        index.add_document(404, fresh)
+        assert 42 not in index and 404 in index
+        hits = index.search(vectors[42], 400, nprobe=100)
+        ids = [doc_id for _, doc_id in hits]
+        assert 42 not in ids and 404 in ids
