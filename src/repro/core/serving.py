@@ -94,6 +94,11 @@ class ServingStats:
     unserved: int = 0
     budget_breaches: int = 0
     batches: int = 0
+    #: requests accepted into a scheduler's queue (0 when no scheduler
+    #: fronts the pipeline; see :mod:`repro.online.scheduler`)
+    admitted: int = 0
+    #: requests rejected by scheduler admission control (load shedding)
+    shed: int = 0
     #: end-to-end retrievals performed through :meth:`ServingPipeline.search_batch`
     search_requests: int = 0
     #: cumulative postings touched by those retrievals (paper's CPU-cost proxy)
@@ -110,6 +115,30 @@ class ServingStats:
     @property
     def total(self) -> int:
         return self.cache_served + self.model_served + self.unserved
+
+    def counters(self) -> dict:
+        """The deterministic projection of these stats.
+
+        Everything except wall-clock-derived values (the latency samples
+        and the budget breaches computed from them): two replays of the
+        same virtual-clocked schedule must agree on this dict exactly,
+        which is what the load-replay determinism acceptance compares.
+        """
+        return {
+            "cache_served": self.cache_served,
+            "model_served": self.model_served,
+            "unserved": self.unserved,
+            "batches": self.batches,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "search_requests": self.search_requests,
+            "search_postings_accessed": self.search_postings_accessed,
+            "search_by_mode": dict(self.search_by_mode),
+            "cache_evictions": self.cache_evictions,
+            "cache_expirations": self.cache_expirations,
+            "cache_fill_ratio": self.cache_fill_ratio,
+            "cache_shard_occupancy": list(self.cache_shard_occupancy),
+        }
 
     def mean_latency_ms(self) -> float:
         return sum(self.latencies_ms) / len(self.latencies_ms) if self.latencies_ms else 0.0

@@ -10,7 +10,7 @@ everything (marketplace size, training steps, evaluation sizes) so the full
 suite stays runnable on a laptop CPU.
 """
 
-from repro.experiments.scale import ExperimentScale, SMALL, DEFAULT
+from repro.experiments.scale import ExperimentScale, SMALL, DEFAULT, TINY
 from repro.experiments.shared import ExperimentContext, build_context
 from repro.experiments.rendering import ascii_table, render_series, render_heatmap
 from repro.experiments.result import ExperimentResult
@@ -19,6 +19,7 @@ __all__ = [
     "ExperimentScale",
     "SMALL",
     "DEFAULT",
+    "TINY",
     "ExperimentContext",
     "build_context",
     "ascii_table",

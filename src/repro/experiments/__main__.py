@@ -5,16 +5,21 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments table7
     python -m repro.experiments fig7 --scale default
-    python -m repro.experiments all
+    python -m repro.experiments all --out results/
+
+``--out DIR`` additionally writes each result's ASCII artifact to
+``DIR/<experiment_id>.txt`` (the same shape the benchmark suite leaves
+under ``benchmarks/results/``).
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
-from repro.experiments import DEFAULT, SMALL
+from repro.experiments import DEFAULT, SMALL, TINY
 from repro.experiments import (
     ablations,
     examples_tables,
@@ -25,6 +30,7 @@ from repro.experiments import (
     fig9,
     hybrid_retrieval,
     lm_exploration,
+    load_replay,
     online_replay,
     retrieval_scale,
     serving,
@@ -55,6 +61,7 @@ RUNNERS = {
     "retrieval_scale": retrieval_scale.run,
     "hybrid_retrieval": hybrid_retrieval.run,
     "online_replay": online_replay.run,
+    "load_replay": load_replay.run,
     "ablation_lambda": ablations.lambda_sweep,
     "ablation_diversity": ablations.decoder_diversity,
     "ablation_warmup": ablations.warmup_sensitivity,
@@ -62,7 +69,7 @@ RUNNERS = {
     "lm_exploration": lm_exploration.run,
 }
 
-SCALES = {"small": SMALL, "default": DEFAULT}
+SCALES = {"tiny": TINY, "small": SMALL, "default": DEFAULT}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,6 +79,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
     parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write each result to DIR/<experiment_id>.txt",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -87,11 +100,17 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     scale = SCALES[args.scale]
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         started = time.time()
         result = RUNNERS[name](scale)
         print(result.render())
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+        if out_dir is not None:
+            artifact = out_dir / f"{result.experiment_id}.txt"
+            artifact.write_text(result.render() + "\n")
     return 0
 
 

@@ -58,6 +58,7 @@ from repro.search import (
 )
 
 #: corpus floor — the acceptance bar is "a ≥50k-doc synthetic catalog"
+#: (scaled down only by a sub-1.0 ``ExperimentScale.workload_factor``)
 TARGET_DOCS = 50_000
 RECALL_K = 10
 NUM_GAP_QUERIES = 40
@@ -84,7 +85,7 @@ def _train_encoder(scale: ExperimentScale) -> DualEncoder:
     train_dual_encoder(
         encoder,
         market.train_pairs,
-        steps=ENCODER_STEPS,
+        steps=scale.scaled(ENCODER_STEPS, 50),
         rng=np.random.default_rng(scale.seed),
     )
     return encoder
@@ -93,7 +94,7 @@ def _train_encoder(scale: ExperimentScale) -> DualEncoder:
 def _build_catalog(scale: ExperimentScale) -> Catalog:
     generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
     rng = np.random.default_rng(scale.seed)
-    return Catalog(products=generator.sample_products(TARGET_DOCS, rng))
+    return Catalog(products=generator.sample_products(scale.scaled(TARGET_DOCS, 2_000), rng))
 
 
 def _gap_queries(rng: np.random.Generator) -> list[tuple[str, list[str], str, str]]:
@@ -145,6 +146,9 @@ def _recall_at_k(doc_ids: list[int], relevant: set[int], k: int) -> float:
 
 def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
     rng = np.random.default_rng(scale.seed + 1)
+    timing_rounds = scale.timing_rounds(TIMING_ROUNDS)
+    churn_docs = scale.scaled(CHURN_DOCS, 50)
+    ann_clusters = scale.scaled(ANN_CLUSTERS, 16)
     encoder = _train_encoder(scale)
     catalog = _build_catalog(scale)
 
@@ -183,7 +187,7 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
 
     # -- ANN vs brute force on one flat 50k index ----------------------------
     flat = VectorIndex(
-        encoder.config.output_dim, num_clusters=ANN_CLUSTERS, seed=scale.seed
+        encoder.config.output_dim, num_clusters=ann_clusters, seed=scale.seed
     )
     flat.fit(doc_ids, embeddings, iterations=8)
 
@@ -208,27 +212,27 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
             break
 
     started = time.perf_counter()
-    for _ in range(TIMING_ROUNDS):
+    for _ in range(timing_rounds):
         for q in query_vecs:
             flat.brute_force(q, RECALL_K)
     brute_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    for _ in range(TIMING_ROUNDS):
+    for _ in range(timing_rounds):
         for q in query_vecs:
             flat.search(q, RECALL_K, nprobe=chosen_nprobe)
     ann_seconds = time.perf_counter() - started
-    total_queries = TIMING_ROUNDS * len(query_vecs)
+    total_queries = timing_rounds * len(query_vecs)
 
     # -- churn through the hybrid engine (all tiers in lockstep) -------------
     generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
     churn_rng = np.random.default_rng(scale.seed + 2)
     fresh = generator.sample_products(
-        CHURN_DOCS, churn_rng, start_id=catalog.next_product_id()
+        churn_docs, churn_rng, start_id=catalog.next_product_id()
     )
     for product in fresh:
         engine.add_product(product)
-    removed = fresh[: CHURN_DOCS // 2]
+    removed = fresh[: churn_docs // 2]
     for product in removed:
         engine.remove_product(product.product_id)
     removed_ids = {p.product_id for p in removed}
@@ -255,20 +259,20 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
     engine.close()
 
     measured = {
-        "docs_indexed": TARGET_DOCS,
+        "docs_indexed": len(doc_ids),
         "num_gap_queries": len(requests),
         "recall_k": RECALL_K,
         "lexical_recall": recall["lexical"],
         "semantic_recall": recall["semantic"],
         "hybrid_recall": recall["hybrid"],
-        "ann_clusters": ANN_CLUSTERS,
+        "ann_clusters": ann_clusters,
         "ann_nprobe": chosen_nprobe,
         "ann_matched_recall": matched_recall,
         "brute_ms_per_query": brute_seconds * 1000.0 / total_queries,
         "ann_ms_per_query": ann_seconds * 1000.0 / total_queries,
         "ann_speedup": brute_seconds / ann_seconds,
-        "churn_docs_added": CHURN_DOCS,
-        "churn_docs_removed": CHURN_DOCS // 2,
+        "churn_docs_added": churn_docs,
+        "churn_docs_removed": churn_docs // 2,
         "docs_after_churn": docs_after_churn,
         "churn_dead_hits": dead_hits,
         "churn_probe_found": bool(probe_found),
@@ -283,13 +287,13 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
             "-",
         ],
         [
-            f"IVF probe (nprobe={chosen_nprobe}/{ANN_CLUSTERS})",
+            f"IVF probe (nprobe={chosen_nprobe}/{ann_clusters})",
             f"{measured['ann_ms_per_query']:.3f} ms/q",
             f"{measured['ann_speedup']:.1f}x at recall {matched_recall:.3f}",
         ],
         [
             "churn (lockstep tiers)",
-            f"+{CHURN_DOCS}/-{CHURN_DOCS // 2} docs",
+            f"+{churn_docs}/-{churn_docs // 2} docs",
             f"dead hits {dead_hits}, probe {'hit' if probe_found else 'MISS'}",
         ],
     ]

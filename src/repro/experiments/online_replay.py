@@ -114,14 +114,24 @@ def _build_arm(
 def run(
     scale: ExperimentScale = SMALL, config: ReplayConfig | None = None
 ) -> ExperimentResult:
-    cfg = config or ReplayConfig(seed=scale.seed)
+    # A sub-1.0 workload factor (the TINY smoke preset) shrinks the stream
+    # and skips the timing repeats; at factor 1.0 the defaults are exactly
+    # the ≥10k-request acceptance workload.
+    cfg = config or ReplayConfig(
+        seed=scale.seed,
+        num_requests=scale.scaled(ReplayConfig.num_requests, 600),
+        churn_every=scale.scaled(ReplayConfig.churn_every, 150),
+    )
+    timing_rounds = scale.timing_rounds(TIMING_ROUNDS)
     generator = CatalogGenerator(
         CatalogConfig(products_per_category=PRODUCTS_PER_CATEGORY, seed=scale.seed)
     )
     base_catalog = generator.generate()
     click_log = ClickLogSimulator(
         base_catalog,
-        config=ClickLogConfig(num_sessions=NUM_SESSIONS, seed=scale.seed),
+        config=ClickLogConfig(
+            num_sessions=scale.scaled(NUM_SESSIONS, 400), seed=scale.seed
+        ),
     ).simulate()
     replay = TrafficReplay(click_log, generator, cfg)
     rewriter = RuleBasedRewriter(alias_to_canonical())
@@ -133,7 +143,7 @@ def run(
     # agree on every counter and only wall time varies.
     baseline_rounds: list[ReplayReport] = []
     fresh_rounds: list[ReplayReport] = []
-    for round_index in range(TIMING_ROUNDS):
+    for round_index in range(timing_rounds):
         order = (False, True) if round_index % 2 == 0 else (True, False)
         for with_freshness in order:
             report = _build_arm(

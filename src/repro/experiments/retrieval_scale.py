@@ -36,6 +36,7 @@ from repro.search import BM25Ranker, SearchConfig, SearchEngine, ShardedSearchEn
 from repro.text import tokenize
 
 #: corpus floor — the acceptance bar is "a ≥50k-doc synthetic catalog"
+#: (scaled down only by a sub-1.0 ``ExperimentScale.workload_factor``)
 TARGET_DOCS = 50_000
 NUM_QUERIES = 30
 TOP_K = 100
@@ -47,7 +48,7 @@ CHURN_DOCS = 500
 def _build_catalog(scale: ExperimentScale) -> Catalog:
     generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
     rng = np.random.default_rng(scale.seed)
-    return Catalog(products=generator.sample_products(TARGET_DOCS, rng))
+    return Catalog(products=generator.sample_products(scale.scaled(TARGET_DOCS, 2_000), rng))
 
 
 def _build_queries(scale: ExperimentScale) -> list[tuple[str, list[str]]]:
@@ -102,6 +103,8 @@ def _seed_search(index, ranker, query: str, rewrites: list[str], k: int) -> list
 def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
     catalog = _build_catalog(scale)
     requests = _build_queries(scale)
+    timing_rounds = scale.timing_rounds(TIMING_ROUNDS)
+    churn_docs = scale.scaled(CHURN_DOCS, 50)
     config = SearchConfig(max_candidates=TOP_K, ranker="bm25")
     engine = SearchEngine(catalog, config)
     ranker: BM25Ranker = engine.ranker
@@ -118,17 +121,17 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
     topk_match_rate = matches / len(requests)
 
     started = time.perf_counter()
-    for _ in range(TIMING_ROUNDS):
+    for _ in range(timing_rounds):
         for query, rewrites in requests:
             _seed_search(engine.index, ranker, query, rewrites, TOP_K)
     seed_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    for _ in range(TIMING_ROUNDS):
+    for _ in range(timing_rounds):
         for query, rewrites in requests:
             engine.search(query, rewrites)
     engine_seconds = time.perf_counter() - started
-    total_queries = TIMING_ROUNDS * len(requests)
+    total_queries = timing_rounds * len(requests)
 
     # Figure 5 invariant at scale: merged tree never costs more postings.
     merged_postings = 0
@@ -152,12 +155,12 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
     generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
     churn_rng = np.random.default_rng(scale.seed + 2)
     fresh = generator.sample_products(
-        CHURN_DOCS, churn_rng, start_id=catalog.next_product_id()
+        churn_docs, churn_rng, start_id=catalog.next_product_id()
     )
     for product in fresh:
         catalog.add_product(product)
         sharded.add_document(product.product_id, product.title_tokens)
-    for product in fresh[: CHURN_DOCS // 2]:
+    for product in fresh[: churn_docs // 2]:
         catalog.remove_product(product.product_id)
         sharded.remove_document(product.product_id)
     probe = fresh[-1]
@@ -180,8 +183,8 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
         "num_shards": NUM_SHARDS,
         "sharded_match_rate": sharded_matches / len(requests),
         "sharded_ms_per_query": sharded_seconds * 1000.0 / len(requests),
-        "churn_docs_added": CHURN_DOCS,
-        "churn_docs_removed": CHURN_DOCS // 2,
+        "churn_docs_added": churn_docs,
+        "churn_docs_removed": churn_docs // 2,
         "docs_after_churn": docs_after_churn,
         "churn_probe_found": bool(probe_hit),
     }
@@ -204,7 +207,7 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
         ],
         [
             "incremental churn",
-            f"+{CHURN_DOCS}/-{CHURN_DOCS // 2} docs",
+            f"+{churn_docs}/-{churn_docs // 2} docs",
             f"{docs_after_churn} indexed, probe {'hit' if probe_hit else 'MISS'}",
         ],
     ]

@@ -22,6 +22,12 @@ Exported pieces:
 * :class:`FreshnessController` / :class:`FreshnessReport` — churn-driven
   invalidation + re-population, expired-entry sweeps, and refresh-ahead
   for entries close to TTL expiry.
+* :class:`MicroBatchScheduler` / :class:`SchedulerConfig` /
+  :class:`ScheduledRequest` / :class:`CompletedRequest` /
+  :class:`SchedulerReport` — the deterministic load scheduler: dynamic
+  micro-batching under size/deadline triggers, priority lanes, and
+  bounded-queue admission control in front of the serving pipeline (see
+  ``docs/SERVING.md``).
 """
 
 from repro.online.clock import VirtualClock
@@ -32,6 +38,13 @@ from repro.online.replay import (
     ReplayReport,
     Request,
     TrafficReplay,
+)
+from repro.online.scheduler import (
+    CompletedRequest,
+    MicroBatchScheduler,
+    ScheduledRequest,
+    SchedulerConfig,
+    SchedulerReport,
 )
 from repro.online.stats import WindowedStats
 
@@ -45,4 +58,9 @@ __all__ = [
     "ChurnEvent",
     "FreshnessController",
     "FreshnessReport",
+    "MicroBatchScheduler",
+    "SchedulerConfig",
+    "ScheduledRequest",
+    "CompletedRequest",
+    "SchedulerReport",
 ]

@@ -32,12 +32,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.serving import ServingPipeline
+from repro.core.serving import ServedSearch, ServingPipeline
 from repro.data.catalog import CATEGORY_SPECS, CatalogGenerator
 from repro.data.clicklog import ClickLog
 from repro.data.domain import Product
 from repro.online.clock import VirtualClock
 from repro.online.freshness import FreshnessController, FreshnessReport
+from repro.online.scheduler import (
+    MicroBatchScheduler,
+    ScheduledRequest,
+    SchedulerConfig,
+    SchedulerReport,
+)
 from repro.online.stats import WindowedStats
 
 
@@ -107,6 +113,9 @@ class ReplayReport:
     searches: int = 0
     dead_doc_hits: int = 0
     freshness: FreshnessReport | None = None
+    #: micro-batching/admission accounting when the arm ran through
+    #: :meth:`TrafficReplay.run_scheduled` (None for pre-batched arms)
+    scheduler: SchedulerReport | None = None
     #: retained for introspection/rendering
     notes: dict = field(default_factory=dict)
 
@@ -233,6 +242,56 @@ class TrafficReplay:
                 )
         return schedule
 
+    # -- shared replay mechanics ----------------------------------------------
+    def _apply_churn(
+        self,
+        engine,
+        event: ChurnEvent,
+        clock: VirtualClock,
+        last_churn: dict[str, float],
+        removed_ids: set[int],
+        controller: FreshnessController | None,
+    ) -> None:
+        """Apply one churn event to catalog + live index in lockstep, stamp
+        the affected categories, and notify the controller.  Shared by the
+        pre-batched and scheduled replay paths so their churn (and thus
+        staleness) semantics can never diverge."""
+        for product in event.added:
+            engine.add_product(product)
+        for doc_id, _ in event.removed:
+            engine.remove_product(doc_id)
+            removed_ids.add(doc_id)
+        now = clock.now()
+        for category in event.categories:
+            last_churn[category] = now
+        if controller is not None:
+            controller.on_churn(event.categories)
+
+    def _record_serve(
+        self,
+        pipeline: ServingPipeline,
+        stats: WindowedStats,
+        served,
+        query: str,
+        last_churn: dict[str, float],
+    ) -> None:
+        """Record one served request's hit/stale/empty gauges.
+
+        A *stale* serve is a cache hit whose entry was written before the
+        last churn event touching the query's category (an entry that
+        vanished since — ``stored_at`` None — also counts).  One
+        definition, used by both replay paths."""
+        hit = served.source == "cache"
+        empty = not served.rewrites
+        stale = False
+        if hit:
+            category = self._categories.get(query)
+            churned_at = last_churn.get(category) if category is not None else None
+            if churned_at is not None:
+                written_at = pipeline.cache.stored_at(query)
+                stale = written_at is None or written_at < churned_at
+        stats.record(served.latency_ms, hit=hit, stale=stale, empty=empty)
+
     # -- replay --------------------------------------------------------------
     def run(
         self,
@@ -269,16 +328,9 @@ class TrafficReplay:
         started = time.perf_counter()
         for kind, payload in self._schedule:
             if kind == "churn":
-                for product in payload.added:
-                    engine.add_product(product)
-                for doc_id, _ in payload.removed:
-                    engine.remove_product(doc_id)
-                    removed_ids.add(doc_id)
-                now = clock.now()
-                for category in payload.categories:
-                    last_churn[category] = now
-                if controller is not None:
-                    controller.on_churn(payload.categories)
+                self._apply_churn(
+                    engine, payload, clock, last_churn, removed_ids, controller
+                )
                 churn_events += 1
                 continue
 
@@ -299,15 +351,7 @@ class TrafficReplay:
             batch_index += 1
 
             for request, served in zip(payload, served_batch):
-                hit = served.source == "cache"
-                empty = not served.rewrites
-                stale = False
-                if hit:
-                    churned_at = last_churn.get(request.category)
-                    if churned_at is not None:
-                        written_at = pipeline.cache.stored_at(request.query)
-                        stale = written_at is None or written_at < churned_at
-                stats.record(served.latency_ms, hit=hit, stale=stale, empty=empty)
+                self._record_serve(pipeline, stats, served, request.query, last_churn)
         seconds = time.perf_counter() - started
 
         serving = pipeline.stats
@@ -325,4 +369,134 @@ class TrafficReplay:
             searches=searches,
             dead_doc_hits=dead_doc_hits,
             freshness=controller.report if controller is not None else None,
+        )
+
+    # -- scheduled replay ------------------------------------------------------
+    def arrival_trace(self) -> list[tuple[str, float, object]]:
+        """The schedule as timed single-request arrivals, oldest first.
+
+        Flattens the precomputed request batches into ``("request", t,
+        Request)`` events with exponential (Poisson-process) inter-arrival
+        gaps of mean ``seconds_per_request``, drawn from their own seeded
+        stream so the request *content* is identical to the pre-batched
+        schedule.  Churn events become ``("churn", t, ChurnEvent)`` pinned
+        at the arrival time of the request they followed.  This is the
+        workload shape a :class:`~repro.online.scheduler.MicroBatchScheduler`
+        faces: nobody hands it batches, traffic just arrives.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        events: list[tuple[str, float, object]] = []
+        t = 0.0
+        for kind, payload in self._schedule:
+            if kind == "batch":
+                gaps = rng.exponential(cfg.seconds_per_request, size=len(payload))
+                for request, gap in zip(payload, gaps):
+                    t += float(gap)
+                    events.append(("request", t, request))
+            else:
+                events.append(("churn", t, payload))
+        return events
+
+    def run_scheduled(
+        self,
+        pipeline: ServingPipeline,
+        clock: VirtualClock,
+        scheduler_config: SchedulerConfig | None = None,
+        controller: FreshnessController | None = None,
+        *,
+        arm: str = "",
+    ) -> ReplayReport:
+        """Replay the arrival trace through a micro-batch scheduler.
+
+        Same serving-stack requirements as :meth:`run`, but requests
+        enter one at a time through a
+        :class:`~repro.online.scheduler.MicroBatchScheduler` that forms
+        batches under ``scheduler_config``'s policy.  Head queries ride
+        lane 0, tail queries the lowest-priority lane; a deterministic
+        ``1/search_every`` fraction of requests goes end-to-end through
+        retrieval (``kind="search"``), mirroring :meth:`run`'s probe
+        cadence.  Staleness/hit accounting happens per dispatched batch,
+        at the virtual time each request is actually served, and the
+        returned report carries the scheduler's own
+        :class:`~repro.online.scheduler.SchedulerReport` (queue delays,
+        batch sizes, admission counters).
+        """
+        engine = pipeline.search_engine
+        if engine is None or not hasattr(engine, "add_product"):
+            raise ValueError(
+                "replay needs a churn-capable engine on the pipeline "
+                "(ShardedSearchEngine with add_product/remove_product)"
+            )
+        cfg = self.config
+        sched_cfg = scheduler_config or SchedulerConfig()
+        stats = WindowedStats(cfg.window)
+        last_churn: dict[str, float] = {}
+        removed_ids: set[int] = set()
+        churn_events = 0
+        searches = 0
+        dead_doc_hits = 0
+        tail_lane = min(1, sched_cfg.num_lanes - 1)
+
+        def on_batch(completions) -> None:
+            nonlocal searches, dead_doc_hits
+            if controller is not None:
+                controller.tick()
+            for completion in completions:
+                outcome = completion.outcome
+                if isinstance(outcome, ServedSearch):
+                    served = outcome.served
+                    searches += 1
+                    dead_doc_hits += sum(
+                        1 for doc_id in outcome.doc_ids if doc_id in removed_ids
+                    )
+                else:
+                    served = outcome
+                self._record_serve(
+                    pipeline, stats, served, completion.request.query, last_churn
+                )
+
+        scheduler = MicroBatchScheduler(pipeline, clock, sched_cfg, on_batch=on_batch)
+        # Its own stream: the end-to-end probe picks must not perturb the
+        # arrival-gap draws (or the schedule's), so replays stay comparable.
+        probe_rng = np.random.default_rng(cfg.seed + 2)
+        started = time.perf_counter()
+        for kind, at, payload in self.arrival_trace():
+            if kind == "churn":
+                # Serve everything due strictly before the churn lands,
+                # then apply it to catalog + index in lockstep.
+                scheduler.advance_to(at)
+                self._apply_churn(
+                    engine, payload, clock, last_churn, removed_ids, controller
+                )
+                churn_events += 1
+                continue
+            probe = probe_rng.random() < 1.0 / cfg.search_every
+            scheduler.submit(
+                ScheduledRequest(
+                    query=payload.query,
+                    arrival_seconds=at,
+                    lane=0 if payload.query in self._head else tail_lane,
+                    kind="search" if probe else "rewrite",
+                )
+            )
+        scheduler_report = scheduler.drain()
+        seconds = time.perf_counter() - started
+
+        serving = pipeline.stats
+        return ReplayReport(
+            arm=arm,
+            requests=stats.total_requests,
+            seconds=seconds,
+            churn_events=churn_events,
+            stats=stats,
+            cache_served=serving.cache_served,
+            model_served=serving.model_served,
+            unserved=serving.unserved,
+            cache_expirations=serving.cache_expirations,
+            cache_evictions=serving.cache_evictions,
+            searches=searches,
+            dead_doc_hits=dead_doc_hits,
+            freshness=controller.report if controller is not None else None,
+            scheduler=scheduler_report,
         )

@@ -1,0 +1,145 @@
+"""Threaded stress for ``RewriteCache``: the accounting must stay exact.
+
+Hammers one bounded sharded cache with concurrent get/put/delete from
+many threads and then checks the invariants the serving tier relies on:
+
+* every ``get`` is counted as exactly one hit or one miss;
+* every entry ever stored is accounted for by exactly one of: still
+  live, evicted (capacity), expired (TTL), or deleted;
+* occupancy never exceeds capacity, per-shard gauges sum to the totals.
+
+The switch interval is cranked down so the interpreter forces thread
+switches inside the cache's read-modify-write sequences — without the
+per-shard/stats locking these invariants fail (lost counter updates, or
+``RuntimeError`` from an ``OrderedDict`` mutated mid-scan).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core import RewriteCache
+
+NUM_THREADS = 8
+OPS_PER_THREAD = 1_500
+
+
+@pytest.fixture()
+def aggressive_switching():
+    """Force very frequent GIL switches for the duration of one test."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+class Worker(threading.Thread):
+    """One stress thread: puts its own unique keys, gets/deletes anyone's."""
+
+    def __init__(self, cache: RewriteCache, thread_id: int, barrier: threading.Barrier):
+        super().__init__(name=f"cache-stress-{thread_id}")
+        self.cache = cache
+        self.thread_id = thread_id
+        self.barrier = barrier
+        self.rng = random.Random(1000 + thread_id)
+        self.puts = 0
+        self.gets = 0
+        self.deletes_ok = 0
+        self.error: BaseException | None = None
+
+    @staticmethod
+    def key(thread_id: int, i: int) -> str:
+        return f"thread{thread_id} key{i}"
+
+    def run(self):
+        try:
+            self.barrier.wait()
+            next_key = 0
+            for _ in range(OPS_PER_THREAD):
+                op = self.rng.random()
+                # Any thread's key space is fair game for reads/deletes.
+                other = self.rng.randrange(NUM_THREADS)
+                other_key = self.key(other, self.rng.randrange(OPS_PER_THREAD))
+                if op < 0.5:
+                    self.cache.put(
+                        self.key(self.thread_id, next_key), ["rewrite a", "rewrite b"]
+                    )
+                    next_key += 1
+                    self.puts += 1
+                elif op < 0.85:
+                    self.cache.get(other_key)
+                    self.gets += 1
+                else:
+                    if self.cache.delete(other_key):
+                        self.deletes_ok += 1
+        except BaseException as exc:  # pragma: no cover - only on regression
+            self.error = exc
+
+
+def stress(cache: RewriteCache) -> list[Worker]:
+    barrier = threading.Barrier(NUM_THREADS)
+    workers = [Worker(cache, i, barrier) for i in range(NUM_THREADS)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    errors = [w.error for w in workers if w.error is not None]
+    assert not errors, f"worker raised under concurrency: {errors[0]!r}"
+    return workers
+
+
+def check_conservation(cache: RewriteCache, workers: list[Worker]) -> None:
+    """Every stored entry is live, evicted, expired, or deleted — once."""
+    total_puts = sum(w.puts for w in workers)
+    total_gets = sum(w.gets for w in workers)
+    total_deletes = sum(w.deletes_ok for w in workers)
+    stats = cache.stats
+
+    assert stats.hits + stats.misses == total_gets
+    assert (
+        len(cache) + stats.evictions + stats.expirations + total_deletes
+        == total_puts
+    )
+    assert sum(cache.shard_occupancy()) == len(cache)
+    assert sum(cache.shard_evictions()) == stats.evictions
+    if cache.capacity is not None:
+        assert len(cache) <= cache.capacity
+        for shard_len in cache.shard_occupancy():
+            assert shard_len <= cache.capacity
+
+
+def test_bounded_cache_gauges_consistent_under_threads(aggressive_switching):
+    cache = RewriteCache(capacity=64, shards=4)
+    workers = stress(cache)
+    check_conservation(cache, workers)
+    assert cache.stats.expirations == 0  # no TTL configured
+    assert cache.stats.evictions > 0  # capacity pressure actually happened
+
+
+def test_ttl_cache_gauges_consistent_under_threads(aggressive_switching):
+    # A tiny real-time TTL: entries expire mid-run, so all four removal
+    # paths (evict, expire-on-get, expire-on-put-scan, delete) race.
+    cache = RewriteCache(
+        capacity=64, shards=4, ttl_seconds=0.002, clock=time.monotonic
+    )
+    workers = stress(cache)
+    check_conservation(cache, workers)
+    # The sweep collects whatever is still sitting expired in the shards,
+    # and conservation still holds afterwards.
+    cache.purge_expired()
+    check_conservation(cache, workers)
+
+
+def test_unbounded_cache_counts_every_get_under_threads(aggressive_switching):
+    cache = RewriteCache(shards=2)
+    workers = stress(cache)
+    check_conservation(cache, workers)
+    assert cache.stats.evictions == 0
+    assert cache.stats.expirations == 0

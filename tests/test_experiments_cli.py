@@ -1,7 +1,18 @@
-"""The `python -m repro.experiments` command-line runner (cheap paths only)."""
+"""The `python -m repro.experiments` command-line runner.
+
+Includes the registry-drift gate (every experiment module that defines a
+``run`` is registered) and the tiny-scale smoke that actually executes
+every registered experiment and checks its ``--out`` artifact — the test
+that catches "added an experiment, forgot to register it" and "runner
+crashes outside its benchmark" in one sweep.
+"""
+
+import importlib
+import pkgutil
 
 import pytest
 
+import repro.experiments as experiments_pkg
 from repro.experiments.__main__ import RUNNERS, SCALES, main
 
 
@@ -31,9 +42,46 @@ class TestCli:
         assert expected <= set(RUNNERS)
 
     def test_scales_registered(self):
-        assert set(SCALES) == {"small", "default"}
+        assert set(SCALES) == {"tiny", "small", "default"}
 
     def test_runs_cheap_experiment(self, capsys):
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
         assert "Model hyperparameters" in out
+
+    def test_every_run_function_is_registered(self):
+        """Registry drift gate: a module exposing ``run(scale)`` must be in
+        RUNNERS (modules with several runners register each by name)."""
+        registered = set(RUNNERS.values())
+        missing = []
+        for info in pkgutil.iter_modules(experiments_pkg.__path__):
+            if info.name.startswith("_"):
+                continue
+            module = importlib.import_module(f"repro.experiments.{info.name}")
+            runner = getattr(module, "run", None)
+            if callable(runner) and getattr(runner, "__module__", "") == module.__name__:
+                if runner not in registered:
+                    missing.append(module.__name__)
+        assert not missing, (
+            f"experiment modules with an unregistered run(): {missing} — "
+            "add them to RUNNERS in repro/experiments/__main__.py"
+        )
+
+    def test_out_dir_written_for_cheap_experiment(self, tmp_path, capsys):
+        assert main(["table2", "--out", str(tmp_path / "artifacts")]) == 0
+        artifact = tmp_path / "artifacts" / "table2.txt"
+        assert artifact.exists()
+        assert "Model hyperparameters" in artifact.read_text()
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_every_registered_experiment_writes_artifact(name, tmp_path, capsys):
+    """Run EVERY registered experiment at the tiny smoke scale and check
+    it exits 0 and leaves exactly one non-empty result artifact."""
+    out = tmp_path / "artifacts"
+    assert main([name, "--scale", "tiny", "--out", str(out)]) == 0
+    artifacts = list(out.glob("*.txt"))
+    assert len(artifacts) == 1, f"{name} left {artifacts}"
+    text = artifacts[0].read_text()
+    assert text.startswith("== ")
+    assert len(text.strip()) > 0

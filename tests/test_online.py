@@ -12,6 +12,7 @@ from repro.data.clicklog import ClickLogConfig, ClickLogSimulator
 from repro.online import (
     FreshnessController,
     ReplayConfig,
+    SchedulerConfig,
     TrafficReplay,
     VirtualClock,
     WindowedStats,
@@ -292,11 +293,79 @@ class TestTrafficReplay:
         assert fresh.freshness is not None
         assert baseline.freshness is None
 
+    def test_arrival_trace_is_monotone_and_deterministic(self):
+        _, _, replay = build_small_replay(seed=5)
+        trace = replay.arrival_trace()
+        assert trace == replay.arrival_trace()
+        times = [at for _, at, _ in trace]
+        assert times == sorted(times)
+        kinds = [kind for kind, _, _ in trace]
+        assert kinds.count("request") == replay.config.num_requests
+        assert kinds.count("churn") == replay.num_churn_events
+        # Same request content as the pre-batched schedule, in order.
+        batched = [
+            request.query
+            for kind, payload in replay._schedule
+            if kind == "batch"
+            for request in payload
+        ]
+        assert [p.query for k, _, p in trace if k == "request"] == batched
+
+    def test_scheduled_replay_end_to_end(self):
+        generator, _, replay = build_small_replay()
+        engine, clock, pipeline, _ = build_stack(generator, replay)
+        report = replay.run_scheduled(
+            pipeline,
+            clock,
+            SchedulerConfig(max_batch_size=16, max_wait_seconds=1.0),
+            arm="scheduled",
+        )
+        engine.close()
+        assert report.requests == 400
+        assert report.scheduler is not None
+        assert report.scheduler.completed == 400
+        assert report.scheduler.admitted == 400
+        assert report.scheduler.shed == 0
+        assert report.scheduler.batches > 400 / 16 - 1
+        # Worker is infinitely fast (no service model), so the deadline
+        # bound is exact for every request.
+        assert (
+            max(report.scheduler.queue_delays_seconds) <= 1.0 + 1e-12
+        )
+        assert report.searches > 0
+        assert report.dead_doc_hits == 0
+        assert report.churn_events == replay.num_churn_events
+        assert (
+            report.cache_served + report.model_served + report.unserved
+            == report.requests
+        )
+        assert pipeline.stats.admitted == 400
+        assert pipeline.stats.shed == 0
+
+    def test_scheduled_replay_is_deterministic(self):
+        def run_once():
+            generator, _, replay = build_small_replay(seed=11)
+            engine, clock, pipeline, _ = build_stack(generator, replay)
+            report = replay.run_scheduled(
+                pipeline,
+                clock,
+                SchedulerConfig(max_batch_size=8, max_wait_seconds=0.8),
+            )
+            engine.close()
+            return report.scheduler.fingerprint(), pipeline.stats.counters()
+
+        first_fp, first_counters = run_once()
+        second_fp, second_counters = run_once()
+        assert first_fp == second_fp
+        assert first_counters == second_counters
+
     def test_replay_requires_churn_capable_engine(self):
         generator, _, replay = build_small_replay()
         pipeline = ServingPipeline(RewriteCache(), None)  # no engine at all
         with pytest.raises(ValueError):
             replay.run(pipeline, VirtualClock())
+        with pytest.raises(ValueError):
+            replay.run_scheduled(pipeline, VirtualClock())
 
     def test_invalid_config_rejected(self):
         generator, click_log, _ = build_small_replay()

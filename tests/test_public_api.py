@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.embedding",
     "repro.evaluation",
     "repro.experiments",
+    "repro.online",
 ]
 
 

@@ -1,0 +1,395 @@
+"""The deterministic micro-batch scheduler: batch formation, priority
+lanes, admission control, the virtual service model, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core import RewriteCache, ServingConfig, ServingPipeline
+from repro.core.rewriter import RewriteResult
+from repro.core.serving import ServedRewrite, ServedSearch
+from repro.online import (
+    MicroBatchScheduler,
+    ScheduledRequest,
+    SchedulerConfig,
+    VirtualClock,
+)
+from repro.search.engine import SearchOutcome
+
+
+class EchoRewriter:
+    """Deterministic fallback: every query rewrites to itself + a suffix."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def rewrite(self, query, k=3):
+        self.calls += 1
+        return [RewriteResult(tokens=(query, "rewritten"), log_prob=-1.0)][:k]
+
+
+class FakeEngine:
+    """Minimal mode-less search engine (two fixed hits per query)."""
+
+    def search(self, query, rewrites=None):
+        return SearchOutcome(
+            query=query,
+            rewrites=list(rewrites or []),
+            doc_ids=[1, 2],
+            postings_accessed=3,
+            tree_nodes=1,
+            num_trees=1,
+        )
+
+
+def make_stack(config, *, with_engine=False, cache=None):
+    clock = VirtualClock()
+    pipeline = ServingPipeline(
+        cache,
+        EchoRewriter(),
+        ServingConfig(max_rewrites=3),
+        search_engine=FakeEngine() if with_engine else None,
+    )
+    batches = []
+    scheduler = MicroBatchScheduler(
+        pipeline, clock, config, on_batch=batches.append
+    )
+    return clock, pipeline, scheduler, batches
+
+
+def submit_at(scheduler, arrivals, *, lane=0, kind="rewrite"):
+    return [
+        scheduler.submit(
+            ScheduledRequest(
+                query=f"query {i}", arrival_seconds=t, lane=lane, kind=kind
+            )
+        )
+        for i, t in enumerate(arrivals)
+    ]
+
+
+class TestBatchFormation:
+    def test_size_trigger_forms_full_batches(self):
+        clock, pipeline, scheduler, batches = make_stack(
+            SchedulerConfig(max_batch_size=4, max_wait_seconds=10.0)
+        )
+        submit_at(scheduler, [0.1 * i for i in range(8)])
+        report = scheduler.drain()
+        assert report.batches == 2
+        assert report.batch_sizes == [4, 4]
+        assert report.size_triggered == 2
+        assert report.deadline_triggered == 0
+        assert report.completed == 8
+        assert pipeline.stats.batches == 2
+        assert pipeline.stats.admitted == 8
+        assert pipeline.stats.shed == 0
+        # Size-triggered batches dispatch the instant they fill: the 4th
+        # arrival completes the first batch, so its own delay is zero.
+        assert report.queue_delays_seconds[3] == 0.0
+        assert max(report.queue_delays_seconds) < 10.0
+
+    def test_deadline_trigger_flushes_partial_batch(self):
+        clock, _, scheduler, _ = make_stack(
+            SchedulerConfig(max_batch_size=100, max_wait_seconds=1.0)
+        )
+        submit_at(scheduler, [0.0, 0.1, 0.2])
+        report = scheduler.drain()
+        assert report.batches == 1
+        assert report.batch_sizes == [3]
+        assert report.deadline_triggered == 1
+        # Flushed exactly when the oldest request hit max_wait.
+        assert clock.now() == 1.0
+        assert report.queue_delays_seconds == [1.0, 0.9, pytest.approx(0.8)]
+
+    def test_deadline_fires_between_arrivals(self):
+        clock, _, scheduler, batches = make_stack(
+            SchedulerConfig(max_batch_size=100, max_wait_seconds=0.5)
+        )
+        scheduler.submit(ScheduledRequest(query="early", arrival_seconds=0.0))
+        # The next arrival is far in the future; submitting it must first
+        # flush the overdue batch at t=0.5, not at t=10.
+        scheduler.submit(ScheduledRequest(query="late", arrival_seconds=10.0))
+        assert len(batches) == 1
+        assert batches[0][0].dispatched_at == 0.5
+        assert batches[0][0].queue_delay_seconds == 0.5
+        scheduler.drain()
+
+    def test_max_wait_bounds_every_delay_with_idle_worker(self):
+        rng = np.random.default_rng(7)
+        config = SchedulerConfig(max_batch_size=8, max_wait_seconds=0.5)
+        _, _, scheduler, _ = make_stack(config)
+        arrivals = np.cumsum(rng.exponential(0.05, size=200))
+        for i, t in enumerate(arrivals):
+            lane = int(rng.integers(0, config.num_lanes))
+            scheduler.submit(
+                ScheduledRequest(query=f"q{i}", arrival_seconds=float(t), lane=lane)
+            )
+        report = scheduler.drain()
+        assert report.completed == 200
+        assert max(report.queue_delays_seconds) <= config.max_wait_seconds + 1e-12
+
+
+class TestPriorityLanes:
+    def test_high_priority_lane_drains_first(self):
+        _, _, scheduler, batches = make_stack(
+            SchedulerConfig(max_batch_size=4, max_wait_seconds=5.0, num_lanes=2)
+        )
+        scheduler.submit(ScheduledRequest(query="low a", arrival_seconds=0.0, lane=1))
+        scheduler.submit(ScheduledRequest(query="low b", arrival_seconds=0.1, lane=1))
+        scheduler.submit(ScheduledRequest(query="high a", arrival_seconds=0.2, lane=0))
+        scheduler.drain()
+        order = [c.request.query for c in batches[0]]
+        assert order == ["high a", "low a", "low b"]
+
+    def test_full_batch_prefers_high_lane_backlog(self):
+        _, _, scheduler, batches = make_stack(
+            SchedulerConfig(max_batch_size=2, max_wait_seconds=5.0, num_lanes=2)
+        )
+        scheduler.submit(ScheduledRequest(query="low a", arrival_seconds=0.0, lane=1))
+        scheduler.submit(ScheduledRequest(query="high a", arrival_seconds=0.1, lane=0))
+        # Two pending -> size trigger; the batch takes lane 0 first.
+        assert [c.request.query for c in batches[0]] == ["high a", "low a"]
+        scheduler.drain()
+
+
+class TestAdmissionControl:
+    def test_sheds_arrival_when_queue_full_of_equal_priority(self):
+        _, pipeline, scheduler, _ = make_stack(
+            SchedulerConfig(
+                max_batch_size=100, max_wait_seconds=50.0, max_queue_depth=2
+            )
+        )
+        admitted = submit_at(scheduler, [0.0, 0.1, 0.2])
+        assert admitted == [True, True, False]
+        report = scheduler.drain()
+        assert report.admitted == 2
+        assert report.shed == 1
+        assert report.shed_by_lane == [1, 0]
+        assert report.completed == 2
+        assert pipeline.stats.shed == 1
+        assert pipeline.stats.admitted == 2
+
+    def test_high_priority_arrival_evicts_lowest_lane_youngest(self):
+        _, _, scheduler, batches = make_stack(
+            SchedulerConfig(
+                max_batch_size=100,
+                max_wait_seconds=50.0,
+                max_queue_depth=2,
+                num_lanes=2,
+            )
+        )
+        scheduler.submit(ScheduledRequest(query="low old", arrival_seconds=0.0, lane=1))
+        scheduler.submit(ScheduledRequest(query="low new", arrival_seconds=0.1, lane=1))
+        assert scheduler.submit(
+            ScheduledRequest(query="high", arrival_seconds=0.2, lane=0)
+        )
+        report = scheduler.drain()
+        served = [c.request.query for c in batches[0]]
+        assert served == ["high", "low old"]  # youngest low-lane request shed
+        assert report.shed == 1
+        assert report.shed_by_lane == [0, 1]
+
+    def test_high_priority_arrival_evicts_low_lane_of_other_kind(self):
+        # The queue bound is global across kinds, so the victim search is
+        # too: a head search probe must not be shed while strictly
+        # lower-priority rewrite requests hold every slot.
+        _, _, scheduler, batches = make_stack(
+            SchedulerConfig(
+                max_batch_size=100,
+                max_wait_seconds=50.0,
+                max_queue_depth=2,
+                num_lanes=2,
+            ),
+            with_engine=True,
+        )
+        scheduler.submit(ScheduledRequest(query="tail a", arrival_seconds=0.0, lane=1))
+        scheduler.submit(ScheduledRequest(query="tail b", arrival_seconds=0.1, lane=1))
+        assert scheduler.submit(
+            ScheduledRequest(
+                query="head probe", arrival_seconds=0.2, lane=0, kind="search"
+            )
+        )
+        report = scheduler.drain()
+        served = [c.request.query for batch in batches for c in batch]
+        assert "head probe" in served
+        assert "tail b" not in served  # youngest low-priority request shed
+        assert report.shed_by_lane == [0, 1]
+
+    def test_low_priority_arrival_never_evicts_high_lane(self):
+        _, _, scheduler, batches = make_stack(
+            SchedulerConfig(
+                max_batch_size=100,
+                max_wait_seconds=50.0,
+                max_queue_depth=1,
+                num_lanes=2,
+            )
+        )
+        scheduler.submit(ScheduledRequest(query="high", arrival_seconds=0.0, lane=0))
+        assert not scheduler.submit(
+            ScheduledRequest(query="low", arrival_seconds=0.1, lane=1)
+        )
+        scheduler.drain()
+        assert [c.request.query for c in batches[0]] == ["high"]
+
+    def test_peak_queue_depth_tracked(self):
+        _, _, scheduler, _ = make_stack(
+            SchedulerConfig(max_batch_size=3, max_wait_seconds=50.0)
+        )
+        submit_at(scheduler, [0.0, 0.1, 0.2, 0.3, 0.4])
+        report = scheduler.drain()
+        # Depth peaks at 3 right before the size-triggered flush.
+        assert report.peak_queue_depth == 3
+
+
+class TestServiceModel:
+    def test_busy_worker_defers_dispatch(self):
+        clock, _, scheduler, batches = make_stack(
+            SchedulerConfig(
+                max_batch_size=1, max_wait_seconds=0.0, batch_cost_seconds=5.0
+            )
+        )
+        scheduler.submit(ScheduledRequest(query="first", arrival_seconds=0.0))
+        scheduler.submit(ScheduledRequest(query="second", arrival_seconds=1.0))
+        report = scheduler.drain()
+        assert batches[0][0].dispatched_at == 0.0
+        # The worker is busy until t=5; the second request queues 4s even
+        # though its deadline (max_wait=0) fired at its arrival.
+        assert batches[1][0].dispatched_at == 5.0
+        assert report.queue_delays_seconds == [0.0, 4.0]
+        assert clock.now() == 5.0
+
+    def test_per_request_cost_scales_with_batch_size(self):
+        clock, _, scheduler, _ = make_stack(
+            SchedulerConfig(
+                max_batch_size=4,
+                max_wait_seconds=1.0,
+                batch_cost_seconds=1.0,
+                request_cost_seconds=0.5,
+            )
+        )
+        submit_at(scheduler, [0.0, 0.0, 0.0, 0.0])
+        scheduler.drain()
+        # The 4th simultaneous arrival size-triggers one batch at t=0,
+        # which costs 1.0 + 4*0.5 of virtual worker time.
+        assert scheduler._busy_until == 3.0
+
+
+class TestKindsAndRouting:
+    def test_search_requests_go_end_to_end(self):
+        _, pipeline, scheduler, batches = make_stack(
+            SchedulerConfig(max_batch_size=2, max_wait_seconds=1.0),
+            with_engine=True,
+        )
+        scheduler.submit(
+            ScheduledRequest(query="red shoe", arrival_seconds=0.0, kind="search")
+        )
+        scheduler.submit(
+            ScheduledRequest(query="blue shoe", arrival_seconds=0.1, kind="search")
+        )
+        scheduler.drain()
+        outcomes = [c.outcome for c in batches[0]]
+        assert all(isinstance(o, ServedSearch) for o in outcomes)
+        assert outcomes[0].doc_ids == [1, 2]
+        assert pipeline.stats.search_requests == 2
+
+    def test_batches_are_homogeneous_per_kind(self):
+        _, _, scheduler, batches = make_stack(
+            SchedulerConfig(max_batch_size=4, max_wait_seconds=1.0),
+            with_engine=True,
+        )
+        scheduler.submit(ScheduledRequest(query="a", arrival_seconds=0.0))
+        scheduler.submit(
+            ScheduledRequest(query="b", arrival_seconds=0.1, kind="search")
+        )
+        scheduler.submit(ScheduledRequest(query="c", arrival_seconds=0.2))
+        scheduler.drain()
+        for batch in batches:
+            kinds = {c.request.kind for c in batch}
+            assert len(kinds) == 1
+        types = {type(c.outcome) for batch in batches for c in batch}
+        assert types == {ServedRewrite, ServedSearch}
+
+    def test_rewrites_flow_through_cache_tier(self):
+        cache = RewriteCache()
+        cache.put("cached query", ["precomputed"])
+        _, pipeline, scheduler, batches = make_stack(
+            SchedulerConfig(max_batch_size=2, max_wait_seconds=1.0), cache=cache
+        )
+        scheduler.submit(ScheduledRequest(query="cached query", arrival_seconds=0.0))
+        scheduler.submit(ScheduledRequest(query="tail query", arrival_seconds=0.1))
+        scheduler.drain()
+        by_query = {c.request.query: c.outcome for c in batches[0]}
+        assert by_query["cached query"].source == "cache"
+        assert by_query["cached query"].rewrites == ["precomputed"]
+        assert by_query["tail query"].source == "model"
+
+
+class TestDeterminism:
+    @staticmethod
+    def run_once():
+        rng = np.random.default_rng(123)
+        config = SchedulerConfig(
+            max_batch_size=4,
+            max_wait_seconds=0.3,
+            max_queue_depth=6,
+            batch_cost_seconds=0.2,
+            request_cost_seconds=0.01,
+        )
+        _, pipeline, scheduler, _ = make_stack(config, with_engine=True)
+        t = 0.0
+        for i in range(120):
+            t += float(rng.exponential(0.04))
+            scheduler.submit(
+                ScheduledRequest(
+                    query=f"q{int(rng.integers(0, 20))}",
+                    arrival_seconds=t,
+                    lane=int(rng.integers(0, 2)),
+                    kind="search" if i % 7 == 0 else "rewrite",
+                )
+            )
+        report = scheduler.drain()
+        return report.fingerprint(), pipeline.stats.counters()
+
+    def test_same_trace_same_fingerprint_and_counters(self):
+        first_fp, first_counters = self.run_once()
+        second_fp, second_counters = self.run_once()
+        assert first_fp == second_fp
+        assert first_counters == second_counters
+        # Overload is actually exercised: this trace sheds some requests.
+        assert first_fp[1] > 0
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_wait_seconds=-1.0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(num_lanes=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(batch_cost_seconds=-0.1)
+
+    def test_rejects_bad_requests(self):
+        _, _, scheduler, _ = make_stack(SchedulerConfig(num_lanes=2))
+        with pytest.raises(ValueError):
+            scheduler.submit(
+                ScheduledRequest(query="q", arrival_seconds=0.0, kind="mystery")
+            )
+        with pytest.raises(ValueError):
+            scheduler.submit(
+                ScheduledRequest(query="q", arrival_seconds=0.0, lane=2)
+            )
+        scheduler.submit(ScheduledRequest(query="q", arrival_seconds=5.0))
+        with pytest.raises(ValueError):
+            scheduler.submit(ScheduledRequest(query="q", arrival_seconds=4.0))
+        scheduler.drain()
+
+    def test_empty_drain_is_a_noop(self):
+        clock, _, scheduler, _ = make_stack(SchedulerConfig())
+        report = scheduler.drain()
+        assert report.batches == 0
+        assert clock.now() == 0.0
+        assert report.p95_queue_delay_seconds() == 0.0
+        assert report.mean_batch_size() == 0.0

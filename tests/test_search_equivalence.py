@@ -1,0 +1,181 @@
+"""Equivalence and determinism guarantees across retrieval engines.
+
+Two families of invariants the serving tier leans on:
+
+* **Shard-count transparency** — a :class:`ShardedSearchEngine` at 1, 2,
+  4, or 8 shards returns *identical* top-k (doc ids AND scores) to a
+  plain single-index :class:`SearchEngine` over the same corpus, and
+  keeps doing so while products are added and removed mid-stream.  This
+  is the "ranking against global statistics" contract: sharding is a
+  deployment choice, never a relevance change.
+* **Fusion determinism** — hybrid retrieval (RRF and weighted-score
+  fusion) is a pure function of the corpus and the query: repeated
+  searches, and searches through independently built engines, produce
+  identical outcomes in every mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import CATEGORY_SPECS, CatalogConfig, CatalogGenerator
+from repro.embedding import DualEncoder, DualEncoderConfig
+from repro.search import (
+    HybridConfig,
+    HybridSearchEngine,
+    SearchConfig,
+    SearchEngine,
+    ShardedSearchEngine,
+)
+
+TOP_K = 15
+CHURN_STEPS = 40
+
+
+def reference_add(engine: SearchEngine, product) -> None:
+    """Catalog + index add for the single-index engine (no helper there)."""
+    engine.catalog.add_product(product)
+    engine.index.add_document(product.product_id, product.title_tokens)
+
+
+def reference_remove(engine: SearchEngine, product_id: int) -> None:
+    engine.index.remove_document(product_id)
+    engine.catalog.remove_product(product_id)
+
+
+def sample_query(rng: np.random.Generator, products) -> str:
+    """A 1-3 token query drawn from a live product title (plus, sometimes,
+    a token the corpus may not contain at all)."""
+    title = list(products[int(rng.integers(0, len(products)))].title_tokens)
+    count = int(rng.integers(1, min(3, len(title)) + 1))
+    picks = [title[int(i)] for i in rng.choice(len(title), size=count, replace=False)]
+    if rng.random() < 0.2:
+        picks.append("xyzzy")  # out-of-vocabulary term
+    return " ".join(picks)
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+@pytest.mark.parametrize("ranker", ["bm25", "overlap"])
+def test_sharded_identical_to_single_engine_under_churn(num_shards, ranker):
+    generator = CatalogGenerator(CatalogConfig(products_per_category=8, seed=3))
+    config = SearchConfig(max_candidates=TOP_K, ranker=ranker)
+    reference = SearchEngine(generator.generate(), config)
+    sharded = ShardedSearchEngine(
+        generator.generate(), config, num_shards=num_shards, parallel=False
+    )
+
+    rng = np.random.default_rng(100 + num_shards)
+    categories = sorted(CATEGORY_SPECS)
+    next_id = reference.catalog.next_product_id()
+    compared = 0
+    try:
+        for step in range(CHURN_STEPS):
+            op = rng.random()
+            live = reference.catalog.products
+            if op < 0.3:
+                # List the SAME sampled product in both engines.
+                category = str(rng.choice(categories))
+                product = generator.sample_product(category, next_id, rng)
+                next_id += 1
+                reference_add(reference, product)
+                sharded.add_product(product)
+            elif op < 0.5 and len(live) > 5:
+                victim = int(
+                    sorted(p.product_id for p in live)[
+                        int(rng.integers(0, len(live)))
+                    ]
+                )
+                reference_remove(reference, victim)
+                sharded.remove_product(victim)
+            else:
+                query = sample_query(rng, live)
+                rewrites = (
+                    [sample_query(rng, live)] if rng.random() < 0.5 else []
+                )
+                expected = reference.search(query, rewrites)
+                got = sharded.search(query, rewrites)
+                assert got.doc_ids == expected.doc_ids, (
+                    f"step {step}: shard fan-out changed the top-k for "
+                    f"{query!r} + {rewrites!r}"
+                )
+                # Scores must agree bit for bit: every shard ranks against
+                # the same global statistics a single index would use.
+                assert got.scores == expected.scores
+                compared += 1
+        assert compared >= CHURN_STEPS // 4  # the mix actually searched
+    finally:
+        sharded.close()
+
+
+def test_sharded_shard_sizes_follow_churn():
+    generator = CatalogGenerator(CatalogConfig(products_per_category=4, seed=9))
+    engine = ShardedSearchEngine(
+        generator.generate(), SearchConfig(max_candidates=5), num_shards=4,
+        parallel=False,
+    )
+    try:
+        before = len(engine.index)
+        product = generator.sample_product(
+            sorted(CATEGORY_SPECS)[0],
+            engine.catalog.next_product_id(),
+            np.random.default_rng(0),
+        )
+        engine.add_product(product)
+        assert len(engine.index) == before + 1
+        engine.remove_product(product.product_id)
+        assert len(engine.index) == before
+    finally:
+        engine.close()
+
+
+class TestHybridFusionDeterminism:
+    @staticmethod
+    def build_engine(market, fusion: str) -> HybridSearchEngine:
+        return HybridSearchEngine(
+            market.catalog,
+            DualEncoder(market.vocab, DualEncoderConfig(seed=0)),
+            SearchConfig(max_candidates=10, ranker="bm25"),
+            HybridConfig(fusion=fusion, alpha=0.6),
+            num_shards=2,
+            num_clusters=4,
+            parallel=False,
+            seed=0,
+        )
+
+    @staticmethod
+    def queries(market) -> list[str]:
+        records = sorted(
+            market.click_log.queries.values(), key=lambda r: (-r.total_clicks, r.text)
+        )
+        return [r.text for r in records[:6]]
+
+    @pytest.mark.parametrize("fusion", ["rrf", "weighted"])
+    def test_repeated_runs_identical(self, tiny_market, fusion):
+        engine = self.build_engine(tiny_market, fusion)
+        try:
+            for query in self.queries(tiny_market):
+                for mode in ("lexical", "semantic", "hybrid"):
+                    first = engine.search(query, mode=mode)
+                    second = engine.search(query, mode=mode)
+                    assert first.doc_ids == second.doc_ids
+                    assert first.scores == second.scores
+                    assert first.mode == second.mode == mode
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("fusion", ["rrf", "weighted"])
+    def test_independent_builds_identical(self, tiny_market, fusion):
+        # Determinism must survive a full rebuild: encoder init, IVF
+        # clustering, and fusion all run from seeds, not global state.
+        first_engine = self.build_engine(tiny_market, fusion)
+        second_engine = self.build_engine(tiny_market, fusion)
+        try:
+            for query in self.queries(tiny_market):
+                first = first_engine.search(query, mode="hybrid")
+                second = second_engine.search(query, mode="hybrid")
+                assert first.doc_ids == second.doc_ids
+                assert first.scores == second.scores
+        finally:
+            first_engine.close()
+            second_engine.close()
