@@ -44,6 +44,7 @@ from repro.core.serving import (
     ServingConfig,
     ServingPipeline,
     ServingStats,
+    sum_counters,
 )
 from repro.core.lm_rewriter import LMRewriter, LMRewriterConfig, build_lm_sequences
 
@@ -59,6 +60,7 @@ __all__ = [
     "ServingStats",
     "ServedRewrite",
     "ServedSearch",
+    "sum_counters",
     "LMRewriter",
     "LMRewriterConfig",
     "build_lm_sequences",

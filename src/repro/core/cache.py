@@ -117,6 +117,9 @@ class RewriteCache:
         self._capacity = capacity
         self._ttl = ttl_seconds
         self._clock = clock
+        #: namespace prefix prepended to every normalized key ("" for the
+        #: root store; see :meth:`tenant_view`)
+        self._prefix = ""
         base, extra = (0, 0) if capacity is None else divmod(capacity, shards)
         self._shards = [
             _Shard(None if capacity is None else base + (1 if i < extra else 0))
@@ -126,6 +129,48 @@ class RewriteCache:
         # CacheStats is shared across shards; its increments get their own
         # mutex so two shards' operations never race a counter update.
         self._stats_lock = threading.Lock()
+
+    # -- multi-tenancy -------------------------------------------------------
+    @property
+    def namespace(self) -> str:
+        """This view's tenant namespace ("" for the root store)."""
+        return self._prefix[:-1] if self._prefix else ""
+
+    def tenant_view(self, namespace: str) -> "RewriteCache":
+        """A tenant-scoped view over this cache's *shared* physical store.
+
+        The view shares the shards (capacity, TTL, clock, LRU order, and
+        locks) with the root cache, but prefixes every key with
+        ``namespace`` + NUL — a byte :func:`~repro.text.normalize` can
+        never emit — so two tenants' entries for the *same* query text
+        can never collide: one marketplace's precomputed rewrites are
+        invisible to every other marketplace, which is the isolation
+        invariant the multi-tenant replay scenarios pin.  Each view keeps
+        its own :class:`CacheStats`, so per-tenant hit/miss accounting
+        stays separable while capacity/eviction pressure remains a shared
+        (physical) budget.  Views nest: a view's view prefixes further.
+
+        Expirations/evictions discovered during a view's operations are
+        counted on that view's stats — attribution follows whoever did
+        the work, the same rule the root cache applies to itself.
+        """
+        if not namespace:
+            raise ValueError("namespace must be non-empty")
+        if "\x00" in namespace:
+            raise ValueError("namespace must not contain NUL")
+        view = RewriteCache.__new__(RewriteCache)
+        view._capacity = self._capacity
+        view._ttl = self._ttl
+        view._clock = self._clock
+        view._prefix = self._prefix + namespace + "\x00"
+        view._shards = self._shards
+        view.stats = CacheStats()
+        view._stats_lock = threading.Lock()
+        return view
+
+    def _key(self, query: str) -> str:
+        """Physical key: the view's namespace prefix + the normalized query."""
+        return self._prefix + normalize(query)
 
     # -- introspection -------------------------------------------------------
     @property
@@ -156,7 +201,9 @@ class RewriteCache:
         return [s.evictions for s in self._shards]
 
     def __len__(self) -> int:
-        """Live entry count (each shard read under its own mutex)."""
+        """Live *physical* entry count (each shard read under its own
+        mutex) — on a tenant view this still counts every namespace,
+        because capacity is a shared physical budget."""
         return sum(self._shard_len(s) for s in self._shards)
 
     @staticmethod
@@ -172,7 +219,7 @@ class RewriteCache:
         capacity until the next ``get``, which is exactly the state where
         ``put`` used to evict live neighbours instead.
         """
-        key = normalize(query)
+        key = self._key(query)
         shard = self._shard_for(key)
         with shard.lock:
             entry = shard.entries.get(key)
@@ -226,7 +273,7 @@ class RewriteCache:
         in.  Before this ordering, an expired entry could survive an
         eviction round while a live one was dropped.
         """
-        key = normalize(query)
+        key = self._key(query)
         shard = self._shard_for(key)
         with shard.lock:
             written = self._clock()
@@ -251,7 +298,7 @@ class RewriteCache:
         A hit refreshes the entry's LRU position; an entry past its TTL is
         removed and counted as both an expiration and a miss.
         """
-        key = normalize(query)
+        key = self._key(query)
         shard = self._shard_for(key)
         with shard.lock:
             entry = shard.entries.get(key)
@@ -278,7 +325,7 @@ class RewriteCache:
         freshness controller reacting to catalog churn) owns the
         invalidation accounting.
         """
-        key = normalize(query)
+        key = self._key(query)
         shard = self._shard_for(key)
         with shard.lock:
             return shard.entries.pop(key, None) is not None
@@ -303,7 +350,7 @@ class RewriteCache:
         A pure peek: no hit/miss accounting, no LRU refresh, and expired
         entries read as absent (without being collected).
         """
-        key = normalize(query)
+        key = self._key(query)
         shard = self._shard_for(key)
         with shard.lock:
             entry = shard.entries.get(key)
@@ -314,6 +361,10 @@ class RewriteCache:
     def expiring_within(self, margin_seconds: float) -> list[str]:
         """Normalized keys of live entries whose TTL runs out within
         ``margin_seconds`` — the refresh-ahead set.  Empty when TTL is off.
+
+        A tenant view reports only its own namespace's entries, with the
+        namespace prefix stripped, so a freshness controller layered on a
+        view sees the same logical keys it manages.
         """
         if self._ttl is None:
             return []
@@ -322,9 +373,11 @@ class RewriteCache:
         for shard in self._shards:
             with shard.lock:
                 for key, (_, written) in shard.entries.items():
+                    if not key.startswith(self._prefix):
+                        continue
                     remaining = self._ttl - (now - written)
                     if 0.0 <= remaining <= margin_seconds:
-                        keys.append(key)
+                        keys.append(key[len(self._prefix):])
         return keys
 
     def populate(self, rewriter, queries: list[str], k: int = 3, progress=None) -> int:

@@ -162,6 +162,43 @@ class ServingStats:
         return self.percentile_latency_ms(0.99)
 
 
+def sum_counters(stats_list) -> dict:
+    """Sum the *additive* deterministic counters of several
+    :class:`ServingStats` — the global view over per-tenant pipelines.
+
+    Multi-tenant drivers pin "per-tenant counters sum to global" as an
+    isolation invariant; this is the canonical summation, covering every
+    integer counter of :meth:`ServingStats.counters` plus the per-mode
+    retrieval tally (dict-merged).  Non-additive gauges (fill ratio,
+    shard occupancy) are deliberately excluded — they describe one
+    physical cache, not a sum.
+    """
+    total = {
+        "cache_served": 0,
+        "model_served": 0,
+        "unserved": 0,
+        "batches": 0,
+        "admitted": 0,
+        "shed": 0,
+        "search_requests": 0,
+        "search_postings_accessed": 0,
+        "cache_evictions": 0,
+        "cache_expirations": 0,
+        "search_by_mode": {},
+    }
+    for stats in stats_list:
+        counters = stats.counters()
+        for key in total:
+            if key == "search_by_mode":
+                for mode, count in counters["search_by_mode"].items():
+                    total["search_by_mode"][mode] = (
+                        total["search_by_mode"].get(mode, 0) + count
+                    )
+            else:
+                total[key] += counters[key]
+    return total
+
+
 class ServingPipeline:
     """Cache-first, model-fallback rewrite serving."""
 
@@ -171,6 +208,8 @@ class ServingPipeline:
         fallback_rewriter,
         config: ServingConfig | None = None,
         search_engine=None,
+        *,
+        tenant: str | None = None,
     ):
         """``fallback_rewriter`` is any object with
         ``rewrite(query, k) -> list[RewriteResult]`` (typically a
@@ -181,11 +220,16 @@ class ServingPipeline:
         ``search_engine`` is any object with ``search(query, rewrites) ->
         SearchOutcome`` (a :class:`~repro.search.SearchEngine` or
         :class:`~repro.search.ShardedSearchEngine`); it enables
-        :meth:`search_batch`, the end-to-end rewrite-then-retrieve path."""
+        :meth:`search_batch`, the end-to-end rewrite-then-retrieve path.
+
+        ``tenant`` names the marketplace this pipeline serves in a
+        multi-tenant deployment (``repro.online.scenarios``); it is a
+        label for telemetry/aggregation only and changes no behaviour."""
         self.cache = cache
         self.fallback = fallback_rewriter
         self.config = config or ServingConfig()
         self.search_engine = search_engine
+        self.tenant = tenant
         self.stats = ServingStats()
 
     # -- internal ------------------------------------------------------------

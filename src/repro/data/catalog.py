@@ -211,6 +211,11 @@ class CatalogConfig:
     title_marketing_words: tuple[int, int] = (1, 3)  # min/max filler tokens
     title_feature_words: tuple[int, int] = (1, 3)
     seed: int = 0
+    #: first product id :meth:`CatalogGenerator.generate` assigns.  Multi-
+    #: tenant scenarios give every tenant its own disjoint id space (e.g.
+    #: ``tenant_index * 1_000_000``) so a document id names exactly one
+    #: tenant's product and cross-tenant serves are detectable.
+    product_id_base: int = 0
 
 
 @dataclass
@@ -284,27 +289,32 @@ class CatalogGenerator:
 
     def generate(self, rng: np.random.Generator | None = None) -> Catalog:
         rng = rng or np.random.default_rng(self.config.seed)
+        base = self.config.product_id_base
         products: list[Product] = []
         for name in sorted(CATEGORY_SPECS):
             spec = CATEGORY_SPECS[name]
             for _ in range(self.config.products_per_category):
-                products.append(self._sample_product(spec, len(products), rng))
+                products.append(self._sample_product(spec, base + len(products), rng))
         return Catalog(products=products)
 
     def sample_products(
         self,
         count: int,
         rng: np.random.Generator | None = None,
-        start_id: int = 0,
+        start_id: int | None = None,
     ) -> list[Product]:
         """Sample ``count`` products round-robin over the categories.
 
         Unlike :meth:`generate` this is not tied to a per-category quota,
         so callers can stream arbitrarily many products — growing a
         catalog incrementally, or building the ≥50k-document corpora the
-        retrieval-scale benchmark needs.
+        retrieval-scale benchmark needs.  ``start_id`` defaults to the
+        config's ``product_id_base`` so tenant-scoped generators stay
+        inside their own id space.
         """
         rng = rng or np.random.default_rng(self.config.seed)
+        if start_id is None:
+            start_id = self.config.product_id_base
         names = sorted(CATEGORY_SPECS)
         return [
             self._sample_product(

@@ -40,6 +40,29 @@ class MarketplaceConfig:
     seed: int = 0
 
     def __post_init__(self):
+        # Non-positive sizes used to produce silently-empty catalogs and
+        # click logs that only failed much later (an unreplayable traffic
+        # stream, a vocabulary of specials only); fail at construction.
+        if self.catalog.products_per_category < 1:
+            raise ValueError(
+                "catalog.products_per_category must be >= 1, got "
+                f"{self.catalog.products_per_category}"
+            )
+        if self.clicks.num_sessions < 1:
+            raise ValueError(
+                f"clicks.num_sessions must be >= 1, got {self.clicks.num_sessions}"
+            )
+        if self.clicks.intent_pool_size < 1:
+            raise ValueError(
+                "clicks.intent_pool_size must be >= 1, got "
+                f"{self.clicks.intent_pool_size}"
+            )
+        if not 0.0 <= self.eval_fraction < 1.0:
+            raise ValueError(
+                f"eval_fraction must be in [0, 1), got {self.eval_fraction}"
+            )
+        if self.vocab_min_freq < 1:
+            raise ValueError(f"vocab_min_freq must be >= 1, got {self.vocab_min_freq}")
         # A single seed drives everything unless sub-configs override it.
         self.catalog.seed = self.seed
         self.clicks.seed = self.seed + 1

@@ -33,6 +33,7 @@ from repro.experiments import (
     load_replay,
     online_replay,
     retrieval_scale,
+    scenarios,
     serving,
     serving_batched,
     table1,
@@ -62,6 +63,7 @@ RUNNERS = {
     "hybrid_retrieval": hybrid_retrieval.run,
     "online_replay": online_replay.run,
     "load_replay": load_replay.run,
+    "scenarios": scenarios.run,
     "ablation_lambda": ablations.lambda_sweep,
     "ablation_diversity": ablations.decoder_diversity,
     "ablation_warmup": ablations.warmup_sensitivity,

@@ -28,6 +28,12 @@ Exported pieces:
   micro-batching under size/deadline triggers, priority lanes, and
   bounded-queue admission control in front of the serving pipeline (see
   ``docs/SERVING.md``).
+* :class:`Scenario` / :class:`ScenarioConfig` / :class:`ScenarioRunner` /
+  :class:`ScenarioOutcome` / :class:`InvariantResult` /
+  :data:`SCENARIOS` / :func:`run_scenario` — the multi-tenant scenario
+  library: named adversarial replay arms with pinned pass/fail
+  invariants driven through the whole stack above (see
+  ``docs/SCENARIOS.md``).
 """
 
 from repro.online.clock import VirtualClock
@@ -46,6 +52,17 @@ from repro.online.scheduler import (
     SchedulerConfig,
     SchedulerReport,
 )
+from repro.online.scenarios import (
+    SCENARIOS,
+    InvariantResult,
+    Scenario,
+    ScenarioConfig,
+    ScenarioOutcome,
+    ScenarioRunner,
+    TenantState,
+    get_scenario,
+    run_scenario,
+)
 from repro.online.stats import WindowedStats
 
 __all__ = [
@@ -63,4 +80,13 @@ __all__ = [
     "ScheduledRequest",
     "CompletedRequest",
     "SchedulerReport",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioRunner",
+    "ScenarioOutcome",
+    "InvariantResult",
+    "TenantState",
+    "SCENARIOS",
+    "get_scenario",
+    "run_scenario",
 ]

@@ -243,7 +243,7 @@ class TrafficReplay:
         return schedule
 
     # -- shared replay mechanics ----------------------------------------------
-    def _apply_churn(
+    def apply_churn(
         self,
         engine,
         event: ChurnEvent,
@@ -254,8 +254,9 @@ class TrafficReplay:
     ) -> None:
         """Apply one churn event to catalog + live index in lockstep, stamp
         the affected categories, and notify the controller.  Shared by the
-        pre-batched and scheduled replay paths so their churn (and thus
-        staleness) semantics can never diverge."""
+        pre-batched and scheduled replay paths — and by the scenario
+        library's drivers (:mod:`repro.online.scenarios`) — so churn (and
+        thus staleness) semantics can never diverge between harnesses."""
         for product in event.added:
             engine.add_product(product)
         for doc_id, _ in event.removed:
@@ -267,7 +268,7 @@ class TrafficReplay:
         if controller is not None:
             controller.on_churn(event.categories)
 
-    def _record_serve(
+    def record_serve(
         self,
         pipeline: ServingPipeline,
         stats: WindowedStats,
@@ -280,7 +281,8 @@ class TrafficReplay:
         A *stale* serve is a cache hit whose entry was written before the
         last churn event touching the query's category (an entry that
         vanished since — ``stored_at`` None — also counts).  One
-        definition, used by both replay paths."""
+        definition, used by both replay paths and by the scenario
+        drivers."""
         hit = served.source == "cache"
         empty = not served.rewrites
         stale = False
@@ -328,7 +330,7 @@ class TrafficReplay:
         started = time.perf_counter()
         for kind, payload in self._schedule:
             if kind == "churn":
-                self._apply_churn(
+                self.apply_churn(
                     engine, payload, clock, last_churn, removed_ids, controller
                 )
                 churn_events += 1
@@ -351,7 +353,7 @@ class TrafficReplay:
             batch_index += 1
 
             for request, served in zip(payload, served_batch):
-                self._record_serve(pipeline, stats, served, request.query, last_churn)
+                self.record_serve(pipeline, stats, served, request.query, last_churn)
         seconds = time.perf_counter() - started
 
         serving = pipeline.stats
@@ -452,7 +454,7 @@ class TrafficReplay:
                     )
                 else:
                     served = outcome
-                self._record_serve(
+                self.record_serve(
                     pipeline, stats, served, completion.request.query, last_churn
                 )
 
@@ -466,7 +468,7 @@ class TrafficReplay:
                 # Serve everything due strictly before the churn lands,
                 # then apply it to catalog + index in lockstep.
                 scheduler.advance_to(at)
-                self._apply_churn(
+                self.apply_churn(
                     engine, payload, clock, last_churn, removed_ids, controller
                 )
                 churn_events += 1

@@ -1,0 +1,1211 @@
+"""Multi-tenant scenario library with adversarial replay arms.
+
+Every online harness so far answered one question well ("does freshness
+beat no-freshness", "does admission control shed under overload") but
+each invented its own driver.  This module turns those one-off drivers
+into a **library of pinned scenarios**: a :class:`Scenario` couples a
+deterministic trace builder with a set of pass/fail **invariants** whose
+bars are pinned in code, so any regression in the serving stack — a
+cache leak across tenants, a dead document served after delisting, a
+batch scheduler stall — fails a named bar instead of shifting a number
+nobody is watching.
+
+The library drives the *existing* stack — :class:`~repro.online.replay.
+TrafficReplay` builds each tenant's schedule, a per-tenant
+:class:`~repro.online.scheduler.MicroBatchScheduler` forms batches over
+one shared :class:`~repro.online.clock.VirtualClock`, and a per-tenant
+:class:`~repro.online.freshness.FreshnessController` keeps head entries
+fresh — so scenario semantics (churn lockstep, staleness definition)
+can never diverge from the single-arm harnesses.
+
+Registered scenarios (:data:`SCENARIOS`):
+
+* ``multi_tenant`` — N marketplaces with disjoint catalogs and
+  namespaced cache views interleave traffic through per-tenant
+  schedulers; isolation invariants pin zero cross-tenant serves and
+  per-tenant counters summing to the global totals.
+* ``hot_key_storm`` — a mid-trace window collapses onto the single
+  hottest head query; bars pin cache absorption (no shedding, high
+  storm-window hit rate, bounded queue delay).
+* ``churn_storm`` — churn cadence and payload multiplied; bars pin
+  zero dead-document serves, index-size lockstep, and a stale-serve
+  ceiling the freshness controller must hold.
+* ``cold_restart`` — the cache node restarts mid-trace (a fresh, empty
+  cache swaps in); bars pin the hit-rate crater *and* the recovery.
+* ``vocab_drift`` — a new brand floods the query stream while its
+  products list mid-trace; bars pin that the semantic-capable hybrid
+  tier adopts the new vocabulary end to end.
+
+Isolation is modelled physically: tenants share one physical
+:class:`~repro.core.cache.RewriteCache` through
+:meth:`~repro.core.cache.RewriteCache.tenant_view` namespacing, and
+tenant catalogs live in disjoint document-id ranges
+(``CatalogConfig.product_id_base``).  Setting
+``ScenarioConfig.namespace_cache=False`` removes the namespacing — the
+deliberately broken deployment whose isolation invariant must FAIL,
+which is how ``benchmarks/test_scenarios.py`` proves the gates can
+actually catch a regression.  See ``docs/SCENARIOS.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.baselines.rule_based import RuleBasedRewriter
+from repro.core.cache import RewriteCache
+from repro.core.serving import (
+    ServedSearch,
+    ServingConfig,
+    ServingPipeline,
+    sum_counters,
+)
+from repro.data.catalog import CATEGORY_SPECS, CatalogConfig, CatalogGenerator
+from repro.data.clicklog import ClickLogConfig
+from repro.data.domain import Product
+from repro.data.marketplace import MarketplaceConfig, generate_marketplace
+from repro.data.synonyms import build_rule_dictionary
+from repro.online.clock import VirtualClock
+from repro.online.freshness import FreshnessController
+from repro.online.replay import ChurnEvent, ReplayConfig, Request, TrafficReplay
+from repro.online.scheduler import (
+    MicroBatchScheduler,
+    ScheduledRequest,
+    SchedulerConfig,
+)
+from repro.online.stats import WindowedStats
+from repro.search.engine import SearchConfig
+from repro.search.sharded import ShardedSearchEngine
+from repro.text import normalize
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Shared knobs of every scenario (arms override via :meth:`Scenario.adjust`).
+
+    One config drives tenant construction (marketplace size, id spaces),
+    the replayed stream (length, churn cadence, probe cadence), the cache
+    tier (capacity, TTL, namespacing) and the scheduler policy, so a
+    scenario is reproducible from ``(scenario name, config)`` alone.
+    """
+
+    #: marketplaces replayed concurrently (arms may pin this to 1)
+    num_tenants: int = 2
+    #: requests each tenant's schedule emits
+    requests_per_tenant: int = 400
+    #: catalog size knob per tenant (products per category)
+    products_per_category: int = 4
+    #: click-log sessions simulated per tenant
+    num_sessions: int = 300
+    #: zipf-weighted query-universe size per tenant
+    intent_pool_size: int = 60
+    #: top fraction of click-ranked queries treated as the head set
+    head_fraction: float = 0.4
+    #: physical cache capacity shared by ALL tenants (views share the store)
+    cache_capacity: int = 512
+    #: cache TTL in virtual seconds (0 disables expiry)
+    cache_ttl_seconds: float = 6.0
+    #: shards of the physical cache
+    cache_shards: int = 4
+    #: scheduler size trigger
+    max_batch_size: int = 16
+    #: scheduler deadline trigger (virtual seconds)
+    max_wait_seconds: float = 0.25
+    #: scheduler admission bound (per tenant)
+    max_queue_depth: int = 256
+    #: mean Poisson inter-arrival gap (virtual seconds)
+    seconds_per_request: float = 0.02
+    #: a churn event lands after every this-many requests (per tenant)
+    churn_every: int = 120
+    #: products listed / delisted per churn event
+    churn_adds: int = 3
+    churn_removes: int = 3
+    #: every ``search_every``-th request per tenant goes end to end
+    #: through retrieval (deterministic, batch-size independent)
+    search_every: int = 8
+    #: sliding window of the streaming gauges
+    window: int = 512
+    #: refresh-ahead margin of the per-tenant freshness controller
+    refresh_margin_seconds: float = 1.0
+    #: minimum virtual time between controller maintenance scans
+    tick_interval_seconds: float = 0.5
+    #: document-id stride separating tenant catalogs; tenant ``i`` owns
+    #: ids in ``[i * stride, (i+1) * stride)``
+    tenant_id_stride: int = 1_000_000
+    #: True: per-tenant namespaced views over the shared physical cache.
+    #: False: every tenant uses the raw shared store — the deliberately
+    #: broken deployment whose isolation invariant must fail.
+    namespace_cache: bool = True
+    seed: int = 0
+
+    def __post_init__(self):
+        """Reject configurations that cannot produce a meaningful run."""
+        if self.num_tenants < 1:
+            raise ValueError(f"num_tenants must be >= 1, got {self.num_tenants}")
+        if self.requests_per_tenant < 1:
+            raise ValueError(
+                f"requests_per_tenant must be >= 1, got {self.requests_per_tenant}"
+            )
+        if self.tenant_id_stride < 10_000:
+            raise ValueError(
+                "tenant_id_stride must leave room for catalogs + churn "
+                f"(>= 10000), got {self.tenant_id_stride}"
+            )
+        if self.search_every < 1:
+            raise ValueError(f"search_every must be >= 1, got {self.search_every}")
+
+    def scaled(self, factor: float) -> "ScenarioConfig":
+        """This config with its workload shrunk/grown by ``factor``.
+
+        Scales the per-tenant request count, marketplace size and churn
+        cadence together (with floors that keep every scenario's windows
+        non-degenerate), leaving policy knobs and bars untouched — the
+        smoke-scale path of the experiments CLI.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        return dataclasses.replace(
+            self,
+            requests_per_tenant=max(120, int(self.requests_per_tenant * factor)),
+            num_sessions=max(120, int(self.num_sessions * factor)),
+            intent_pool_size=max(30, int(self.intent_pool_size * factor)),
+            products_per_category=max(3, int(self.products_per_category * factor)),
+            churn_every=max(30, int(self.churn_every * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One pinned pass/fail bar, evaluated against an observed value."""
+
+    #: stable invariant identifier (regression gates key on this)
+    name: str
+    passed: bool
+    #: the measured quantity the bar was compared against
+    observed: float
+    #: human-readable bar, e.g. ``"== 0"`` or ``">= 0.90"``
+    bar: str
+    #: what the invariant protects (shown on failure)
+    detail: str = ""
+
+    def __str__(self) -> str:
+        """``name: observed vs bar [PASS|FAIL]`` one-liner."""
+        status = "PASS" if self.passed else "FAIL"
+        return f"{self.name}: {self.observed:g} vs {self.bar} [{status}]"
+
+
+def _freeze(value):
+    """Recursively convert dicts/lists into hashable sorted tuples."""
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze(val)) for key, val in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(val) for val in value)
+    return value
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything one scenario run produced: telemetry + judged invariants."""
+
+    scenario: str
+    config: ScenarioConfig
+    invariants: list[InvariantResult]
+    #: tenant name -> deterministic telemetry (serving counters, scheduler
+    #: fingerprint, isolation tallies, streaming-gauge summaries)
+    per_tenant: dict[str, dict]
+    #: scenario-specific extras (drift adoption fractions, window rates, ...)
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when every pinned invariant held."""
+        return all(result.passed for result in self.invariants)
+
+    def failures(self) -> list[InvariantResult]:
+        """The invariants that did NOT hold (empty on a clean run)."""
+        return [result for result in self.invariants if not result.passed]
+
+    def fingerprint(self) -> tuple:
+        """Hashable digest of every deterministic quantity in this outcome.
+
+        Two same-seed runs of the same scenario/config must produce equal
+        fingerprints — the scenario determinism acceptance.  Includes the
+        per-tenant scheduler fingerprints and serving counters, so any
+        divergence in batching, admission, tiering or retrieval shows up.
+        """
+        return (self.scenario, _freeze(self.per_tenant))
+
+    def totals(self) -> dict:
+        """Micro-batch-size-invariant projection of the run.
+
+        Batch grouping legitimately changes cache-hit/model splits and
+        batch counts (duplicates sharing a batch all miss together), so
+        full :meth:`fingerprint` equality only holds for identical
+        configs.  These totals — work admitted, completed, shed, churn
+        applied, and the isolation/dead-document tallies — must be
+        identical across ``max_batch_size`` settings for non-adversarial
+        traffic, which is what the determinism gate sweeps.
+        """
+        keys = (
+            "requests",
+            "submitted",
+            "churn_events",
+            "dead_doc_hits",
+            "cross_tenant_cache_hits",
+            "cross_tenant_doc_serves",
+        )
+        totals = {
+            key: sum(tenant[key] for tenant in self.per_tenant.values())
+            for key in keys
+        }
+        totals["admitted"] = sum(
+            tenant["counters"]["admitted"] for tenant in self.per_tenant.values()
+        )
+        totals["shed"] = sum(
+            tenant["counters"]["shed"] for tenant in self.per_tenant.values()
+        )
+        return totals
+
+
+@dataclass
+class TenantState:
+    """Everything one marketplace tenant owns during a scenario run."""
+
+    index: int
+    #: tenant label (cache namespace, pipeline telemetry tag)
+    name: str
+    #: first document id of this tenant's disjoint id range
+    id_base: int
+    market: object
+    engine: object
+    cache: RewriteCache
+    pipeline: ServingPipeline
+    controller: FreshnessController
+    replay: TrafficReplay
+    scheduler: MicroBatchScheduler
+    stats: WindowedStats
+    #: head query -> category (pre-populated + freshness-managed set)
+    head: dict[str, str]
+    #: normalized queries THIS tenant has written into its cache view
+    wrote: set[str]
+    #: category -> virtual time of the last churn touching it
+    last_churn: dict = field(default_factory=dict)
+    #: document ids delisted so far (dead-document detection)
+    removed_ids: set = field(default_factory=set)
+    churn_events: int = 0
+    adds_applied: int = 0
+    removes_applied: int = 0
+    searches: int = 0
+    dead_doc_hits: int = 0
+    #: cache serves of queries this tenant never wrote (leaks, live)
+    cross_tenant_cache_hits: int = 0
+    #: retrieved documents outside this tenant's id range
+    cross_tenant_doc_serves: int = 0
+    #: requests submitted to the scheduler so far
+    submitted: int = 0
+    #: (request sequence, served-from-cache, query) per completion,
+    #: dispatch order
+    serve_log: list = field(default_factory=list)
+    #: arrival time -> request sequence number (for window analyses)
+    seq_of: dict = field(default_factory=dict)
+    initial_products: int = 0
+    #: request sequence at which the cache node restarted (cold_restart)
+    restarted_at: int | None = None
+    #: scenario-specific scratch (drift queries, hot keys, ...)
+    notes: dict = field(default_factory=dict)
+
+
+class Scenario:
+    """One named, deterministic serving scenario with pinned invariants.
+
+    A scenario is **stateless**: all run state lives on the
+    :class:`ScenarioRunner` and its :class:`TenantState` objects, so one
+    registered instance can be run any number of times (and concurrently)
+    from any config.  Subclasses override the four hooks below.
+    """
+
+    #: registry key (stable; regression gates and the CLI key on it)
+    name = "base"
+    #: one-line summary shown by the experiments CLI
+    description = "abstract scenario"
+
+    def adjust(self, config: ScenarioConfig) -> ScenarioConfig:
+        """Pin scenario-specific knobs onto the caller's config."""
+        return config
+
+    def build_engine(self, market, config: ScenarioConfig):
+        """The per-tenant retrieval engine (default: sharded BM25)."""
+        return ShardedSearchEngine(
+            market.catalog,
+            SearchConfig(ranker="bm25"),
+            num_shards=2,
+            parallel=False,
+        )
+
+    def transform_trace(self, tenant: TenantState, events: list, config: ScenarioConfig) -> list:
+        """Rewrite one tenant's arrival trace (inject storms, restarts, ...).
+
+        ``events`` is the tenant's :meth:`TrafficReplay.arrival_trace`
+        output — ``(kind, time, payload)`` tuples; the hook may replace
+        request payloads or insert ``"churn"``/``"restart"`` events, but
+        must keep times non-decreasing.
+        """
+        return events
+
+    def invariants(self, runner: "ScenarioRunner") -> list[InvariantResult]:
+        """Arm-specific pinned bars, appended to the common invariants."""
+        return []
+
+
+def _engine_doc_ids(engine) -> list[int]:
+    """Sorted live document ids of any scenario engine (hybrid or sharded)."""
+    if hasattr(engine, "document_ids"):
+        return engine.document_ids()
+    return engine.lexical.document_ids()
+
+
+def _weighted_stale_rate(tenants: list[TenantState]) -> float:
+    """Lifetime stale-serve fraction pooled over all tenants' requests."""
+    total = sum(tenant.stats.total_requests for tenant in tenants)
+    if not total:
+        return 0.0
+    return sum(tenant.stats.total_stale for tenant in tenants) / total
+
+
+class ScenarioRunner:
+    """Drives one scenario: builds tenants, replays the merged trace,
+    judges the invariants, and returns a :class:`ScenarioOutcome`.
+
+    Per-tenant schedulers share ONE virtual clock; the runner advances
+    every scheduler to each merged-event time (fixed tenant order) so
+    batches dispatch at their exact trigger times regardless of which
+    tenant's traffic is driving the clock — the property that makes the
+    interleaved replay deterministic.
+    """
+
+    #: tail queries ride the lowest-priority lane of a 2-lane scheduler
+    NUM_LANES = 2
+
+    def __init__(self, scenario: Scenario, config: ScenarioConfig | None = None):
+        """``config`` is the caller's base; the scenario may pin knobs
+        on top of it through :meth:`Scenario.adjust`."""
+        self.scenario = scenario
+        self.config = scenario.adjust(config or ScenarioConfig())
+        self.clock = VirtualClock()
+        self.tenants: list[TenantState] = []
+        self.outcome: ScenarioOutcome | None = None
+
+    # -- construction --------------------------------------------------------
+    def _build_tenant(self, index: int, physical: RewriteCache) -> TenantState:
+        cfg = self.config
+        name = f"tenant{index}"
+        id_base = index * cfg.tenant_id_stride
+        market = generate_marketplace(
+            MarketplaceConfig(
+                catalog=CatalogConfig(
+                    products_per_category=cfg.products_per_category,
+                    product_id_base=id_base,
+                ),
+                clicks=ClickLogConfig(
+                    num_sessions=cfg.num_sessions,
+                    intent_pool_size=cfg.intent_pool_size,
+                ),
+                seed=cfg.seed + index * 1000,
+            )
+        )
+        engine = self.scenario.build_engine(market, cfg)
+        cache = physical.tenant_view(name) if cfg.namespace_cache else physical
+        rewriter = RuleBasedRewriter(build_rule_dictionary())
+        pipeline = ServingPipeline(
+            cache,
+            rewriter,
+            ServingConfig(cache_model_results=True),
+            search_engine=engine,
+            tenant=name,
+        )
+        replay = TrafficReplay(
+            market.click_log,
+            CatalogGenerator(market.config.catalog),
+            ReplayConfig(
+                num_requests=cfg.requests_per_tenant,
+                batch_size=cfg.max_batch_size,
+                churn_every=cfg.churn_every,
+                churn_adds=cfg.churn_adds,
+                churn_removes=cfg.churn_removes,
+                head_fraction=cfg.head_fraction,
+                seconds_per_request=cfg.seconds_per_request,
+                search_every=cfg.search_every,
+                window=cfg.window,
+                seed=cfg.seed + 7 + index,
+            ),
+        )
+        head = replay.head_queries()
+        cache.populate(rewriter, list(head))
+        wrote = {
+            normalize(query) for query in head if cache.stored_at(query) is not None
+        }
+        controller = FreshnessController(
+            cache,
+            rewriter,
+            head,
+            refresh_margin_seconds=cfg.refresh_margin_seconds,
+            tick_interval_seconds=cfg.tick_interval_seconds,
+        )
+        tenant = TenantState(
+            index=index,
+            name=name,
+            id_base=id_base,
+            market=market,
+            engine=engine,
+            cache=cache,
+            pipeline=pipeline,
+            controller=controller,
+            replay=replay,
+            scheduler=None,  # set below (needs the tenant for its hook)
+            stats=WindowedStats(cfg.window),
+            head=head,
+            wrote=wrote,
+            initial_products=len(market.catalog.products),
+        )
+        tenant.scheduler = MicroBatchScheduler(
+            pipeline,
+            self.clock,
+            SchedulerConfig(
+                max_batch_size=cfg.max_batch_size,
+                max_wait_seconds=cfg.max_wait_seconds,
+                max_queue_depth=cfg.max_queue_depth,
+                num_lanes=self.NUM_LANES,
+            ),
+            on_batch=lambda completions, tenant=tenant: self._on_batch(
+                tenant, completions
+            ),
+        )
+        return tenant
+
+    # -- per-batch accounting ------------------------------------------------
+    def _on_batch(self, tenant: TenantState, completions) -> None:
+        cfg = self.config
+        tenant.controller.tick()
+        for completion in completions:
+            outcome = completion.outcome
+            if isinstance(outcome, ServedSearch):
+                served = outcome.served
+                tenant.searches += 1
+                upper = tenant.id_base + cfg.tenant_id_stride
+                for doc_id in outcome.doc_ids:
+                    if doc_id in tenant.removed_ids:
+                        tenant.dead_doc_hits += 1
+                    if not tenant.id_base <= doc_id < upper:
+                        tenant.cross_tenant_doc_serves += 1
+            else:
+                served = outcome
+            query = completion.request.query
+            key = normalize(query)
+            if served.source == "cache":
+                # Head entries are legitimately (re)written by the
+                # tenant's own freshness controller at any time (e.g.
+                # after a cold restart), so only non-head hits that this
+                # tenant never wrote count as foreign.
+                if key not in tenant.wrote and query not in tenant.head:
+                    tenant.cross_tenant_cache_hits += 1
+            elif (
+                served.source == "model"
+                and served.rewrites
+                and tenant.pipeline.config.cache_model_results
+            ):
+                tenant.wrote.add(key)
+            tenant.replay.record_serve(
+                tenant.pipeline, tenant.stats, served, query, tenant.last_churn
+            )
+            seq = tenant.seq_of.get(completion.request.arrival_seconds)
+            tenant.serve_log.append(
+                (seq, 1 if served.source == "cache" else 0, query)
+            )
+
+    # -- restart (cold_restart arm) ------------------------------------------
+    def _restart(self, tenant: TenantState) -> None:
+        """Swap the tenant onto a fresh, empty cache (a node restart)."""
+        cfg = self.config
+        root = RewriteCache(
+            capacity=cfg.cache_capacity,
+            ttl_seconds=cfg.cache_ttl_seconds or None,
+            shards=cfg.cache_shards,
+            clock=self.clock.now,
+        )
+        fresh = root.tenant_view(tenant.name) if cfg.namespace_cache else root
+        tenant.cache = fresh
+        tenant.pipeline.cache = fresh
+        tenant.controller.cache = fresh
+        tenant.wrote = set()
+        tenant.restarted_at = tenant.submitted
+        # Cold-window bookkeeping is in DISPATCH order: requests already
+        # queued at restart are served (and written back) against the
+        # fresh cache, so seq-based windows would miss them.
+        tenant.notes["serve_log_at_restart"] = len(tenant.serve_log)
+
+    # -- replay --------------------------------------------------------------
+    def run(self) -> ScenarioOutcome:
+        """Build the tenants, replay the merged trace, judge the bars."""
+        cfg = self.config
+        physical = RewriteCache(
+            capacity=cfg.cache_capacity,
+            ttl_seconds=cfg.cache_ttl_seconds or None,
+            shards=cfg.cache_shards,
+            clock=self.clock.now,
+        )
+        self.tenants = [
+            self._build_tenant(index, physical) for index in range(cfg.num_tenants)
+        ]
+        merged: list[tuple[float, int, int, str, object]] = []
+        for tenant in self.tenants:
+            events = self.scenario.transform_trace(
+                tenant, tenant.replay.arrival_trace(), cfg
+            )
+            for position, (kind, at, payload) in enumerate(events):
+                merged.append((at, tenant.index, position, kind, payload))
+        merged.sort(key=lambda event: (event[0], event[1], event[2]))
+
+        for at, index, _, kind, payload in merged:
+            # Every scheduler serves what is due before the event lands,
+            # in fixed tenant order — the interleaving is deterministic.
+            for tenant in self.tenants:
+                tenant.scheduler.advance_to(at)
+            tenant = self.tenants[index]
+            if kind == "churn":
+                # The first churn after a restart ends the deterministic
+                # coldness window: on_churn repopulates head entries.
+                if (
+                    tenant.restarted_at is not None
+                    and "serve_log_at_first_churn_after_restart" not in tenant.notes
+                ):
+                    tenant.notes["serve_log_at_first_churn_after_restart"] = len(
+                        tenant.serve_log
+                    )
+                tenant.replay.apply_churn(
+                    tenant.engine,
+                    payload,
+                    self.clock,
+                    tenant.last_churn,
+                    tenant.removed_ids,
+                    tenant.controller,
+                )
+                tenant.churn_events += 1
+                tenant.adds_applied += len(payload.added)
+                tenant.removes_applied += len(payload.removed)
+            elif kind == "restart":
+                self._restart(tenant)
+            else:
+                seq = tenant.submitted
+                tenant.submitted += 1
+                tenant.seq_of[at] = seq
+                tenant.scheduler.submit(
+                    ScheduledRequest(
+                        query=payload.query,
+                        arrival_seconds=at,
+                        lane=0 if payload.query in tenant.head else self.NUM_LANES - 1,
+                        # Deterministic, batch-size-independent probe pick
+                        # (the rng probe of run_scheduled would perturb
+                        # cross-batch-size comparisons).
+                        kind="search" if seq % cfg.search_every == 0 else "rewrite",
+                    )
+                )
+        for tenant in self.tenants:
+            tenant.scheduler.drain()
+
+        invariants = self._common_invariants()
+        invariants.extend(self.scenario.invariants(self))
+        self.outcome = ScenarioOutcome(
+            scenario=self.scenario.name,
+            config=cfg,
+            invariants=invariants,
+            per_tenant={
+                tenant.name: self._tenant_telemetry(tenant)
+                for tenant in self.tenants
+            },
+        )
+        return self.outcome
+
+    def _tenant_telemetry(self, tenant: TenantState) -> dict:
+        return {
+            "counters": tenant.pipeline.stats.counters(),
+            "scheduler_fingerprint": tenant.scheduler.report.fingerprint(),
+            "requests": tenant.stats.total_requests,
+            "hits": tenant.stats.total_hits,
+            "stale": tenant.stats.total_stale,
+            "empty": tenant.stats.total_empty,
+            "submitted": tenant.submitted,
+            "churn_events": tenant.churn_events,
+            "adds_applied": tenant.adds_applied,
+            "removes_applied": tenant.removes_applied,
+            "searches": tenant.searches,
+            "dead_doc_hits": tenant.dead_doc_hits,
+            "cross_tenant_cache_hits": tenant.cross_tenant_cache_hits,
+            "cross_tenant_doc_serves": tenant.cross_tenant_doc_serves,
+        }
+
+    # -- invariants ----------------------------------------------------------
+    def _audit_foreign_cache_entries(self) -> int:
+        """Entries of tenant A's head visible through tenant B's cache
+        that B never wrote — the post-run leak audit.  Zero under
+        namespaced views; positive when namespacing is stripped."""
+        violations = 0
+        for owner in self.tenants:
+            for query in owner.head:
+                for other in self.tenants:
+                    if other is owner:
+                        continue
+                    if (
+                        other.cache.stored_at(query) is not None
+                        and normalize(query) not in other.wrote
+                        and query not in other.head
+                    ):
+                        violations += 1
+        return violations
+
+    def _common_invariants(self) -> list[InvariantResult]:
+        cfg = self.config
+        invariants: list[InvariantResult] = []
+
+        live_leaks = sum(t.cross_tenant_cache_hits for t in self.tenants)
+        audit_leaks = self._audit_foreign_cache_entries()
+        leaks = live_leaks + audit_leaks
+        invariants.append(
+            InvariantResult(
+                name="zero_cross_tenant_cache_serves",
+                passed=leaks == 0,
+                observed=float(leaks),
+                bar="== 0",
+                detail=(
+                    f"{live_leaks} live cache serves of foreign entries + "
+                    f"{audit_leaks} foreign entries visible in the post-run audit"
+                ),
+            )
+        )
+
+        cross_docs = sum(t.cross_tenant_doc_serves for t in self.tenants)
+        invariants.append(
+            InvariantResult(
+                name="zero_cross_tenant_doc_serves",
+                passed=cross_docs == 0,
+                observed=float(cross_docs),
+                bar="== 0",
+                detail="retrieved document ids outside the serving tenant's id range",
+            )
+        )
+
+        foreign_index = 0
+        for tenant in self.tenants:
+            upper = tenant.id_base + cfg.tenant_id_stride
+            foreign_index += sum(
+                1
+                for doc_id in _engine_doc_ids(tenant.engine)
+                if not tenant.id_base <= doc_id < upper
+            )
+        invariants.append(
+            InvariantResult(
+                name="index_id_ranges_disjoint",
+                passed=foreign_index == 0,
+                observed=float(foreign_index),
+                bar="== 0",
+                detail="indexed documents outside the owning tenant's id range",
+            )
+        )
+
+        totals = sum_counters([t.pipeline.stats for t in self.tenants])
+        served = totals["cache_served"] + totals["model_served"] + totals["unserved"]
+        submitted = sum(t.submitted for t in self.tenants)
+        completed = sum(t.scheduler.report.completed for t in self.tenants)
+        consistent = (
+            served == totals["admitted"] == completed
+            and totals["admitted"] + totals["shed"] == submitted
+        )
+        invariants.append(
+            InvariantResult(
+                name="tenant_counters_sum_to_global",
+                passed=consistent,
+                observed=float(served),
+                bar=f"served == admitted == completed, admitted + shed == {submitted}",
+                detail=(
+                    f"served={served} admitted={totals['admitted']} "
+                    f"completed={completed} shed={totals['shed']} submitted={submitted}"
+                ),
+            )
+        )
+
+        dead = sum(t.dead_doc_hits for t in self.tenants)
+        invariants.append(
+            InvariantResult(
+                name="zero_dead_document_serves",
+                passed=dead == 0,
+                observed=float(dead),
+                bar="== 0",
+                detail="end-to-end probes surfacing delisted products",
+            )
+        )
+        return invariants
+
+
+# ---------------------------------------------------------------------------
+# Scenario arms
+# ---------------------------------------------------------------------------
+class MultiTenantScenario(Scenario):
+    """Baseline multi-tenant interleave: isolation + accounting bars.
+
+    N tenants with disjoint catalogs and namespaced cache views replay
+    interleaved traffic with churn; on top of the common isolation
+    invariants it pins the freshness controller's stale-serve ceiling
+    and that the baseline load sheds nothing.
+    """
+
+    name = "multi_tenant"
+    description = "interleaved tenants; isolation, accounting and staleness bars"
+    #: pooled lifetime stale-serve ceiling (controller active).  The
+    #: controller keeps head entries fresh; the residual comes from tail
+    #: write-backs churned before they expire (~2% at baseline cadence).
+    STALE_BAR = 0.03
+    #: finite-sample allowance, in requests: on short smoke-scale streams
+    #: a couple of residual stale serves are quantization, not regression
+    STALE_SLACK_REQUESTS = 4.0
+
+    def invariants(self, runner: ScenarioRunner) -> list[InvariantResult]:
+        """Stale-rate ceiling + zero shedding at baseline load."""
+        stale = _weighted_stale_rate(runner.tenants)
+        total = sum(t.stats.total_requests for t in runner.tenants) or 1
+        bar = self.STALE_BAR + self.STALE_SLACK_REQUESTS / total
+        shed = sum(t.scheduler.report.shed for t in runner.tenants)
+        return [
+            InvariantResult(
+                name="stale_serve_rate_bounded",
+                passed=stale <= bar,
+                observed=stale,
+                bar=f"<= {bar:.4f}",
+                detail="pooled lifetime stale-serve fraction under the controller",
+            ),
+            InvariantResult(
+                name="no_shedding_at_baseline_load",
+                passed=shed == 0,
+                observed=float(shed),
+                bar="== 0",
+                detail="admission control must not shed at baseline arrival rates",
+            ),
+        ]
+
+
+class HotKeyStormScenario(Scenario):
+    """Hot-key query storm: a window of traffic collapses onto one head key.
+
+    The middle fifth of the trace is replaced by the hottest head query
+    that has precomputed rewrites.  The cache tier must absorb the storm:
+    no shedding, a near-total storm-window hit rate, and the scheduler's
+    deadline bound intact.
+    """
+
+    name = "hot_key_storm"
+    description = "mid-trace traffic collapses onto one hot head query"
+    STORM_START = 0.4
+    STORM_END = 0.6
+    #: storm-window cache-hit floor
+    HIT_BAR = 0.90
+
+    def adjust(self, config: ScenarioConfig) -> ScenarioConfig:
+        """Single tenant — the storm is a per-tenant phenomenon."""
+        return dataclasses.replace(config, num_tenants=1)
+
+    def _storm_window(self, config: ScenarioConfig) -> tuple[int, int]:
+        n = config.requests_per_tenant
+        return int(n * self.STORM_START), int(n * self.STORM_END)
+
+    def transform_trace(self, tenant: TenantState, events: list, config: ScenarioConfig) -> list:
+        """Replace the storm window's requests with the hot key."""
+        hot = next(
+            (q for q in tenant.head if normalize(q) in tenant.wrote),
+            next(iter(tenant.head)),
+        )
+        tenant.notes["hot_query"] = hot
+        storm = Request(query=hot, category=tenant.head[hot])
+        start, end = self._storm_window(config)
+        out = []
+        seq = 0
+        for kind, at, payload in events:
+            if kind == "request":
+                if start <= seq < end:
+                    payload = storm
+                seq += 1
+            out.append((kind, at, payload))
+        return out
+
+    def invariants(self, runner: ScenarioRunner) -> list[InvariantResult]:
+        """Cache absorption bars: hit floor, zero shed, delay bound."""
+        tenant = runner.tenants[0]
+        start, end = self._storm_window(runner.config)
+        window = [
+            hit
+            for seq, hit, _ in tenant.serve_log
+            if seq is not None and start <= seq < end
+        ]
+        rate = sum(window) / len(window) if window else 0.0
+        shed = tenant.scheduler.report.shed
+        p95 = tenant.scheduler.report.p95_queue_delay_seconds()
+        bound = runner.config.max_wait_seconds + 1e-9
+        return [
+            InvariantResult(
+                name="storm_window_absorbed_by_cache",
+                passed=rate >= self.HIT_BAR,
+                observed=rate,
+                bar=f">= {self.HIT_BAR}",
+                detail=f"cache-hit rate over storm requests [{start}, {end})",
+            ),
+            InvariantResult(
+                name="no_shedding_under_storm",
+                passed=shed == 0,
+                observed=float(shed),
+                bar="== 0",
+                detail="a cache-absorbed storm must not trip admission control",
+            ),
+            InvariantResult(
+                name="queue_delay_bound_holds",
+                passed=p95 <= bound,
+                observed=p95,
+                bar=f"<= {bound:g}",
+                detail="p95 virtual queueing delay vs the deadline trigger",
+            ),
+        ]
+
+
+class ChurnStormScenario(Scenario):
+    """Churn storm: churn cadence quadrupled, payloads amplified.
+
+    The index and catalog must stay in lockstep (size accounting exact,
+    zero dead-document serves) and the freshness controller must hold a
+    stale-serve ceiling even with categories churning several times per
+    TTL window.
+    """
+
+    name = "churn_storm"
+    description = "aggressive listing/delisting; lockstep + staleness bars"
+    #: stale ceiling under storm churn (looser than baseline, still pinned)
+    STALE_BAR = 0.06
+    #: finite-sample allowance, in requests: smoke-scale streams see the
+    #: same storm cadence over far fewer serves, so each residual stale
+    #: serve moves the fraction by ~1%
+    STALE_SLACK_REQUESTS = 8.0
+    ADDS = 8
+    REMOVES = 8
+
+    def adjust(self, config: ScenarioConfig) -> ScenarioConfig:
+        """Single tenant, churn every ~eighth of the trace length."""
+        return dataclasses.replace(
+            config,
+            num_tenants=1,
+            churn_every=max(20, config.requests_per_tenant // 8),
+            churn_adds=self.ADDS,
+            churn_removes=self.REMOVES,
+        )
+
+    def invariants(self, runner: ScenarioRunner) -> list[InvariantResult]:
+        """Index-size lockstep + stale ceiling + full completion."""
+        tenant = runner.tenants[0]
+        expected = (
+            tenant.initial_products + tenant.adds_applied - tenant.removes_applied
+        )
+        observed = len(_engine_doc_ids(tenant.engine))
+        stale = _weighted_stale_rate(runner.tenants)
+        total = sum(t.stats.total_requests for t in runner.tenants) or 1
+        storm_bar = self.STALE_BAR + self.STALE_SLACK_REQUESTS / total
+        return [
+            InvariantResult(
+                name="index_size_lockstep",
+                passed=observed == expected,
+                observed=float(observed),
+                bar=f"== {expected}",
+                detail="live index size vs initial + adds - removes",
+            ),
+            InvariantResult(
+                name="churned_some_catalog",
+                passed=tenant.churn_events >= 2,
+                observed=float(tenant.churn_events),
+                bar=">= 2",
+                detail="the storm must actually churn (guards trace construction)",
+            ),
+            InvariantResult(
+                name="stale_serve_rate_bounded_under_storm",
+                passed=stale <= storm_bar,
+                observed=stale,
+                bar=f"<= {storm_bar:.4f}",
+                detail="lifetime stale-serve fraction under storm churn",
+            ),
+        ]
+
+
+class ColdRestartScenario(Scenario):
+    """Cache-cold restart mid-trace: crater then recover.
+
+    At the halfway request the tenant's cache node is replaced by a
+    fresh, empty one.  The bars pin both sides of the incident: the
+    post-restart window must actually crater (proving the swap is real)
+    and the final window must recover as write-back and the freshness
+    controller refill the head set.
+    """
+
+    name = "cold_restart"
+    description = "fresh empty cache swaps in mid-trace; coldness + recovery bars"
+    #: final-window hit-rate floor after recovery
+    RECOVERY_BAR = 0.40
+
+    def adjust(self, config: ScenarioConfig) -> ScenarioConfig:
+        """Single tenant — the restart is a per-node incident."""
+        return dataclasses.replace(config, num_tenants=1)
+
+    def transform_trace(self, tenant: TenantState, events: list, config: ScenarioConfig) -> list:
+        """Insert the restart right after the first churn past halfway.
+
+        Anchoring the restart to a churn boundary gives the coldness bar
+        the widest possible churn-free window (a full churn period) at
+        every scale; a restart dropped mid-batch just before a churn
+        would leave the window empty.  Traces with no churn after the
+        halfway request fall back to restarting just before it.
+        """
+        halfway = config.requests_per_tenant // 2
+        out = []
+        seq = 0
+        inserted = False
+        for kind, at, payload in events:
+            out.append((kind, at, payload))
+            if kind == "request":
+                seq += 1
+            elif kind == "churn" and not inserted and seq >= halfway:
+                out.append(("restart", at, None))
+                inserted = True
+        if inserted:
+            return out
+        out = []
+        seq = 0
+        for kind, at, payload in events:
+            if kind == "request":
+                if seq == halfway:
+                    out.append(("restart", at, None))
+                seq += 1
+            out.append((kind, at, payload))
+        return out
+
+    def invariants(self, runner: ScenarioRunner) -> list[InvariantResult]:
+        """Coldness + recovery bars around the restart point.
+
+        Coldness is judged deterministically: between the restart and the
+        first post-restart churn event (which repopulates head entries),
+        the ONLY writer to the fresh cache is this tenant's own
+        write-back, so the *first* serve of every distinct query in that
+        window must be a cache miss.  A restart swap that silently keeps
+        the old store fails this bar immediately.
+        """
+        tenant = runner.tenants[0]
+        n = runner.config.requests_per_tenant
+        restart = tenant.restarted_at if tenant.restarted_at is not None else n // 2
+        width = max(20, n // 8)
+        cold_start = tenant.notes.get("serve_log_at_restart", len(tenant.serve_log))
+        cold_end = tenant.notes.get(
+            "serve_log_at_first_churn_after_restart", len(tenant.serve_log)
+        )
+        first_hits = 0
+        first_total = 0
+        seen: set[str] = set()
+        for _, hit, query in tenant.serve_log[cold_start:cold_end]:
+            if query in seen:
+                continue
+            seen.add(query)
+            first_total += 1
+            first_hits += hit
+
+        def window_rate(lo: int, hi: int) -> float:
+            window = [
+                hit
+                for seq, hit, _ in tenant.serve_log
+                if seq is not None and lo <= seq < hi
+            ]
+            return sum(window) / len(window) if window else 0.0
+
+        post_rate = window_rate(restart, restart + width)
+        final_rate = window_rate(n - width, n)
+        return [
+            InvariantResult(
+                name="restart_applied",
+                passed=tenant.restarted_at is not None and first_total >= 5,
+                observed=float(first_total),
+                bar="restart executed, >= 5 distinct cold-window queries",
+                detail="the trace must actually swap the cache mid-run",
+            ),
+            InvariantResult(
+                name="cold_cache_serves_nothing_unseen",
+                passed=first_hits == 0,
+                observed=float(first_hits),
+                bar="== 0",
+                detail=(
+                    f"first serves of {first_total} distinct queries dispatched "
+                    "between the restart and the next churn must all miss"
+                ),
+            ),
+            InvariantResult(
+                name="hit_rate_recovers",
+                passed=final_rate >= self.RECOVERY_BAR,
+                observed=final_rate,
+                bar=f">= {self.RECOVERY_BAR}",
+                detail=(
+                    "write-back + freshness refill must recover the final-"
+                    f"window hit rate (post-restart window: {post_rate:.3f})"
+                ),
+            ),
+        ]
+
+
+class VocabDriftScenario(Scenario):
+    """New-brand vocabulary drift stressing the semantic-capable tier.
+
+    A brand unseen at build time ("zephyrion") floods a late window of
+    the query stream; its products list mid-trace through an ADD-only
+    churn event.  The tenant runs the hybrid lexical+vector engine, and
+    the bars pin end-to-end adoption: post-listing, drift queries must
+    surface the new products, and both retrieval tiers must track the
+    catalog in lockstep.
+    """
+
+    name = "vocab_drift"
+    description = "unseen brand floods queries while its products list mid-trace"
+    BRAND = "zephyrion"
+    #: listing lands before this fraction of the trace
+    ADOPT_AT = 0.6
+    DRIFT_START = 0.65
+    DRIFT_END = 0.85
+    #: categories the new brand launches in
+    NUM_CATEGORIES = 3
+    PRODUCTS_PER_CATEGORY = 2
+    #: post-listing fraction of drift queries that must surface the brand
+    ADOPTION_BAR = 1.0
+
+    def adjust(self, config: ScenarioConfig) -> ScenarioConfig:
+        """Single tenant on the hybrid engine."""
+        return dataclasses.replace(config, num_tenants=1)
+
+    def build_engine(self, market, config: ScenarioConfig):
+        """Hybrid BM25 + IVF-vector engine over an (untrained) dual encoder."""
+        from repro.embedding import DualEncoder
+        from repro.search.hybrid import HybridSearchEngine
+
+        return HybridSearchEngine(
+            market.catalog,
+            DualEncoder(market.vocab),
+            SearchConfig(ranker="bm25"),
+            num_shards=2,
+            num_clusters=4,
+            parallel=False,
+            seed=config.seed,
+        )
+
+    def _drift_catalog(self, tenant: TenantState, config: ScenarioConfig):
+        """The new brand's products + the queries that look for them."""
+        categories = sorted(CATEGORY_SPECS)[: self.NUM_CATEGORIES]
+        base = tenant.id_base + config.tenant_id_stride - 1000
+        products = []
+        queries = []
+        pid = base
+        for category in categories:
+            canon = CATEGORY_SPECS[category].canonical
+            queries.append((f"{self.BRAND} {' '.join(canon)}", category))
+            for _ in range(self.PRODUCTS_PER_CATEGORY):
+                products.append(
+                    Product(
+                        product_id=pid,
+                        category=category,
+                        brand=self.BRAND,
+                        audience=None,
+                        features=(),
+                        title_tokens=(self.BRAND, *canon),
+                        price=99.0,
+                    )
+                )
+                pid += 1
+        return products, queries
+
+    def transform_trace(self, tenant: TenantState, events: list, config: ScenarioConfig) -> list:
+        """Inject the ADD-only listing + the drift-query flood window."""
+        n = config.requests_per_tenant
+        adopt_seq = int(n * self.ADOPT_AT)
+        drift_lo, drift_hi = int(n * self.DRIFT_START), int(n * self.DRIFT_END)
+        products, queries = self._drift_catalog(tenant, config)
+        tenant.notes["drift_queries"] = [q for q, _ in queries]
+        tenant.notes["drift_ids"] = {p.product_id for p in products}
+        listing = ChurnEvent(added=tuple(products), removed=())
+        out = []
+        seq = 0
+        for kind, at, payload in events:
+            if kind == "request":
+                if seq == adopt_seq:
+                    out.append(("churn", at, listing))
+                if drift_lo <= seq < drift_hi:
+                    text, category = queries[seq % len(queries)]
+                    payload = Request(query=text, category=category)
+                seq += 1
+            out.append((kind, at, payload))
+        return out
+
+    def invariants(self, runner: ScenarioRunner) -> list[InvariantResult]:
+        """Adoption + two-tier lockstep bars."""
+        tenant = runner.tenants[0]
+        engine = tenant.engine
+        drift_queries = tenant.notes.get("drift_queries", [])
+        drift_ids = tenant.notes.get("drift_ids", set())
+        adopted = 0
+        for query in drift_queries:
+            outcome = engine.search(query, [])
+            if any(doc_id in drift_ids for doc_id in outcome.doc_ids):
+                adopted += 1
+        fraction = adopted / len(drift_queries) if drift_queries else 0.0
+        lexical_docs = len(_engine_doc_ids(engine))
+        vector_docs = len(engine.vector)
+        catalog_docs = len(engine.catalog.products)
+        return [
+            InvariantResult(
+                name="new_brand_adopted_end_to_end",
+                passed=fraction >= self.ADOPTION_BAR,
+                observed=fraction,
+                bar=f">= {self.ADOPTION_BAR}",
+                detail="post-listing drift queries surfacing a new-brand product",
+            ),
+            InvariantResult(
+                name="retrieval_tiers_in_lockstep",
+                passed=lexical_docs == vector_docs == catalog_docs,
+                observed=float(vector_docs),
+                bar=f"lexical == vector == catalog == {catalog_docs}",
+                detail=(
+                    f"lexical={lexical_docs} vector={vector_docs} "
+                    f"catalog={catalog_docs}"
+                ),
+            ),
+        ]
+
+
+#: registry of every pinned scenario, keyed by stable name
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        MultiTenantScenario(),
+        HotKeyStormScenario(),
+        ChurnStormScenario(),
+        ColdRestartScenario(),
+        VocabDriftScenario(),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name (ValueError on unknown)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; registered: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+
+
+def run_scenario(name: str, config: ScenarioConfig | None = None) -> ScenarioOutcome:
+    """Run one registered scenario end to end and return its outcome."""
+    return ScenarioRunner(get_scenario(name), config).run()

@@ -138,6 +138,11 @@ class InvertedIndex:
             self._array_cache.pop(token, None)
 
     # -- lookups ---------------------------------------------------------------
+    def document_ids(self) -> list[int]:
+        """Sorted ids of every indexed document (isolation audits walk
+        this to prove an index holds only its own tenant's documents)."""
+        return sorted(self._docs)
+
     def document(self, doc_id: int) -> tuple[str, ...]:
         """The indexed token tuple of ``doc_id`` (KeyError if absent)."""
         return self._docs[doc_id]

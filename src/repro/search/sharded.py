@@ -158,6 +158,18 @@ class ShardedIndex:
         """The indexed token tuple of ``doc_id`` (KeyError if absent)."""
         return self._shards[self.shard_of(doc_id)].index.document(doc_id)
 
+    def document_ids(self) -> list[int]:
+        """Sorted ids of every live document across all shards.
+
+        The audit surface for tenant isolation: a per-tenant index must
+        only ever hold ids from its tenant's id space, churn included.
+        """
+        ids: list[int] = []
+        for shard in self._shards:
+            with shard.lock:
+                ids.extend(shard.index.document_ids())
+        return sorted(ids)
+
     def stats(self) -> IndexStats:
         """Global corpus statistics, maintained incrementally.
 
@@ -282,6 +294,10 @@ class ShardedSearchEngine:
     def remove_document(self, doc_id: int) -> None:
         """Unindex a raw document (index only; see :meth:`remove_product`)."""
         self.index.remove_document(doc_id)
+
+    def document_ids(self) -> list[int]:
+        """Sorted live document ids (see :meth:`ShardedIndex.document_ids`)."""
+        return self.index.document_ids()
 
     # -- catalog-level churn ---------------------------------------------------
     def add_product(self, product) -> None:

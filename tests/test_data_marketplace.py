@@ -1,6 +1,7 @@
-"""Marketplace assembly: vocabulary coverage, corpora, determinism."""
+"""Marketplace assembly: vocabulary coverage, corpora, determinism, validation."""
 
 import numpy as np
+import pytest
 
 from repro.data import MarketplaceConfig, generate_marketplace
 from repro.data.catalog import (
@@ -74,3 +75,36 @@ class TestDeterminism:
         config = MarketplaceConfig(seed=5)
         assert config.catalog.seed == 5
         assert config.clicks.seed == 6
+
+
+class TestValidation:
+    """Degenerate sizes fail loudly at construction, not deep in a replay."""
+
+    def test_rejects_non_positive_products_per_category(self):
+        with pytest.raises(ValueError, match="products_per_category"):
+            MarketplaceConfig(catalog=CatalogConfig(products_per_category=0))
+
+    def test_rejects_non_positive_num_sessions(self):
+        with pytest.raises(ValueError, match="num_sessions"):
+            MarketplaceConfig(clicks=ClickLogConfig(num_sessions=0))
+
+    def test_rejects_non_positive_intent_pool(self):
+        with pytest.raises(ValueError, match="intent_pool_size"):
+            MarketplaceConfig(clicks=ClickLogConfig(intent_pool_size=-1))
+
+    def test_rejects_bad_eval_fraction(self):
+        with pytest.raises(ValueError, match="eval_fraction"):
+            MarketplaceConfig(eval_fraction=1.0)
+        with pytest.raises(ValueError, match="eval_fraction"):
+            MarketplaceConfig(eval_fraction=-0.1)
+
+    def test_rejects_non_positive_vocab_min_freq(self):
+        with pytest.raises(ValueError, match="vocab_min_freq"):
+            MarketplaceConfig(vocab_min_freq=0)
+
+    def test_valid_config_constructs(self):
+        config = MarketplaceConfig(
+            catalog=CatalogConfig(products_per_category=1),
+            clicks=ClickLogConfig(num_sessions=1, intent_pool_size=1),
+        )
+        assert config.eval_fraction == 0.1

@@ -41,6 +41,21 @@ class TestCli:
         }
         assert expected <= set(RUNNERS)
 
+    def test_registry_covers_scenario_library(self):
+        """Scenario drift gate, both directions: the ``scenarios``
+        experiment is registered, and every arm in the scenario registry
+        is one the experiment (and the CI smoke) will actually run."""
+        assert "scenarios" in RUNNERS
+        from repro.online import SCENARIOS, get_scenario
+
+        expected_arms = {
+            "multi_tenant", "hot_key_storm", "churn_storm",
+            "cold_restart", "vocab_drift",
+        }
+        assert set(SCENARIOS) == expected_arms
+        for name in expected_arms:
+            assert get_scenario(name).name == name
+
     def test_scales_registered(self):
         assert set(SCALES) == {"tiny", "small", "default"}
 

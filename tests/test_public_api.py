@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.optim",
     "repro.text",
     "repro.data",
+    "repro.data.marketplace",
     "repro.models",
     "repro.decoding",
     "repro.training",
@@ -63,3 +64,21 @@ def test_readme_quickstart_symbols_exist():
     from repro.data import MarketplaceConfig, generate_marketplace  # noqa: F401
     from repro.models import ModelConfig, TransformerNMT  # noqa: F401
     from repro.training import CyclicConfig, CyclicTrainer  # noqa: F401
+
+
+def test_scenario_library_surface():
+    """The scenario library is part of repro.online's public contract."""
+    from repro import online
+
+    for symbol in (
+        "Scenario",
+        "ScenarioConfig",
+        "ScenarioRunner",
+        "ScenarioOutcome",
+        "InvariantResult",
+        "SCENARIOS",
+        "get_scenario",
+        "run_scenario",
+    ):
+        assert symbol in online.__all__, symbol
+        assert hasattr(online, symbol), symbol
