@@ -17,6 +17,7 @@ EXPECTED_ARMS = {
     "hot_key_storm",
     "churn_storm",
     "cold_restart",
+    "cold_restart_persistent",
     "vocab_drift",
 }
 
@@ -28,7 +29,7 @@ def test_scenarios(benchmark, save_result, scale):
     save_result(result)
     measured = result.measured
 
-    # The registry holds exactly the five arms the library promises.
+    # The registry holds exactly the six arms the library promises.
     assert set(SCENARIOS) == EXPECTED_ARMS
     assert measured["scenarios"] == len(EXPECTED_ARMS)
 

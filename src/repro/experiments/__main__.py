@@ -32,6 +32,7 @@ from repro.experiments import (
     lm_exploration,
     load_replay,
     online_replay,
+    persistence,
     retrieval_scale,
     scenarios,
     serving,
@@ -63,6 +64,7 @@ RUNNERS = {
     "hybrid_retrieval": hybrid_retrieval.run,
     "online_replay": online_replay.run,
     "load_replay": load_replay.run,
+    "persistence": persistence.run,
     "scenarios": scenarios.run,
     "ablation_lambda": ablations.lambda_sweep,
     "ablation_diversity": ablations.decoder_diversity,

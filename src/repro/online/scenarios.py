@@ -32,6 +32,11 @@ Registered scenarios (:data:`SCENARIOS`):
   ceiling the freshness controller must hold.
 * ``cold_restart`` — the cache node restarts mid-trace (a fresh, empty
   cache swaps in); bars pin the hit-rate crater *and* the recovery.
+* ``cold_restart_persistent`` — the same incident, but the node also
+  loses its index and restores it from on-disk :mod:`repro.store`
+  segments instead of rebuilding from the catalog; bars additionally
+  pin that the restored index matches the live one exactly and that
+  restore beats rebuild.
 * ``vocab_drift`` — a new brand floods the query stream while its
   products list mid-trace; bars pin that the semantic-capable hybrid
   tier adopts the new vocabulary end to end.
@@ -50,7 +55,11 @@ actually catch a regression.  See ``docs/SCENARIOS.md``.
 from __future__ import annotations
 
 import dataclasses
+import shutil
+import tempfile
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.baselines.rule_based import RuleBasedRewriter
 from repro.core.cache import RewriteCache
@@ -352,6 +361,18 @@ class Scenario:
         """
         return events
 
+    def on_restart(self, runner: "ScenarioRunner", tenant: TenantState) -> None:
+        """Handle a ``"restart"`` trace event for ``tenant``.
+
+        The default incident is a cache-node restart:
+        :meth:`ScenarioRunner.swap_cache` replaces the tenant's cache
+        with a fresh, empty one.  Arms that model a fuller node loss
+        (e.g. ``cold_restart_persistent``, which also restores the
+        retrieval index from :mod:`repro.store` segments) override this
+        and layer their recovery on top of the cache swap.
+        """
+        runner.swap_cache(tenant)
+
     def invariants(self, runner: "ScenarioRunner") -> list[InvariantResult]:
         """Arm-specific pinned bars, appended to the common invariants."""
         return []
@@ -522,9 +543,15 @@ class ScenarioRunner:
                 (seq, 1 if served.source == "cache" else 0, query)
             )
 
-    # -- restart (cold_restart arm) ------------------------------------------
-    def _restart(self, tenant: TenantState) -> None:
-        """Swap the tenant onto a fresh, empty cache (a node restart)."""
+    # -- restart (cold_restart arms) -----------------------------------------
+    def swap_cache(self, tenant: TenantState) -> None:
+        """Swap the tenant onto a fresh, empty cache (a node restart).
+
+        The building block every restart arm shares;
+        :meth:`Scenario.on_restart` decides what else the incident
+        destroys (the persistent arm also swaps the retrieval engine
+        for one restored from disk segments).
+        """
         cfg = self.config
         root = RewriteCache(
             capacity=cfg.cache_capacity,
@@ -593,7 +620,7 @@ class ScenarioRunner:
                 tenant.adds_applied += len(payload.added)
                 tenant.removes_applied += len(payload.removed)
             elif kind == "restart":
-                self._restart(tenant)
+                self.scenario.on_restart(self, tenant)
             else:
                 seq = tenant.submitted
                 tenant.submitted += 1
@@ -1057,6 +1084,148 @@ class ColdRestartScenario(Scenario):
         ]
 
 
+class ColdRestartPersistentScenario(ColdRestartScenario):
+    """Cold restart where the node restores its index from disk segments.
+
+    Same incident shape as ``cold_restart`` — the cache node dies
+    mid-trace and a fresh, empty cache swaps in — but this node also
+    loses its in-memory retrieval index and recovers it from
+    :mod:`repro.store` segments instead of re-adding every catalog
+    document.  On top of the inherited crater/recovery bars, three new
+    bars pin the recovery path itself: the restored index must match
+    the live one *exactly* (same documents, same ranked results with
+    identical scores — churn included, which a catalog rebuild would
+    miss), restoring must not be slower than rebuilding, and the save
+    must actually have produced per-shard segment files.
+    """
+
+    name = "cold_restart_persistent"
+    description = (
+        "restart restores the index from on-disk segments; equality + speed bars"
+    )
+    #: additive timing slack (seconds) so the restore-vs-rebuild bar is
+    #: not flaky at smoke scale, where both sides take ~milliseconds;
+    #: the real 5x separation is pinned at 50k docs by
+    #: ``benchmarks/test_persistence.py``
+    SLACK_SECONDS = 0.025
+    #: head queries probed for exact result equality after the restore
+    PROBE_QUERIES = 5
+    #: timing repetitions (best-of, to shed scheduler noise)
+    TIMING_ROUNDS = 3
+
+    def on_restart(self, runner: ScenarioRunner, tenant: TenantState) -> None:
+        """Swap the cache, then save + restore the retrieval index.
+
+        The live engine (with all churn applied) is saved to a scratch
+        :class:`~repro.store.SegmentStore`, a fresh engine is restored
+        from those segments, and the tenant is swapped onto the
+        restored engine for the rest of the trace — so every
+        post-restart search bar in the suite exercises the *restored*
+        index, not the one that "survived" the crash.  Rebuild-from-
+        catalog is timed as the baseline the restore must beat.  All
+        timings land in ``tenant.notes`` (never in the per-tenant
+        telemetry, which must stay run-to-run fingerprint-identical).
+        """
+        runner.swap_cache(tenant)
+        live = tenant.engine
+        live_docs = _engine_doc_ids(live)
+        probes = sorted(tenant.head)[: self.PROBE_QUERIES]
+        expected = {query: live.search(query) for query in probes}
+
+        root = Path(tempfile.mkdtemp(prefix="repro-store-"))
+        try:
+            start = time.perf_counter()
+            live.save(root)
+            save_seconds = time.perf_counter() - start
+
+            restored = None
+            restore_seconds = float("inf")
+            for _ in range(self.TIMING_ROUNDS):
+                start = time.perf_counter()
+                restored = ShardedSearchEngine.load(
+                    tenant.market.catalog,
+                    root,
+                    SearchConfig(ranker="bm25"),
+                    parallel=False,
+                )
+                restore_seconds = min(restore_seconds, time.perf_counter() - start)
+
+            rebuild_seconds = float("inf")
+            for _ in range(self.TIMING_ROUNDS):
+                start = time.perf_counter()
+                self.build_engine(tenant.market, runner.config)
+                rebuild_seconds = min(rebuild_seconds, time.perf_counter() - start)
+
+            mismatches = 0
+            if _engine_doc_ids(restored) != live_docs:
+                mismatches += 1
+            for query, want in expected.items():
+                got = restored.search(query)
+                if got.doc_ids != want.doc_ids or got.scores != want.scores:
+                    mismatches += 1
+
+            segment_files = sorted(root.glob("*.seg"))
+            tenant.notes["persist_save_seconds"] = save_seconds
+            tenant.notes["persist_restore_seconds"] = restore_seconds
+            tenant.notes["persist_rebuild_seconds"] = rebuild_seconds
+            tenant.notes["persist_mismatches"] = mismatches
+            tenant.notes["persist_segment_files"] = len(segment_files)
+            tenant.notes["persist_segment_bytes"] = sum(
+                path.stat().st_size for path in segment_files
+            )
+            tenant.notes["persist_num_shards"] = len(restored.index._shards)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+        tenant.engine = restored
+        tenant.pipeline.search_engine = restored
+
+    def invariants(self, runner: ScenarioRunner) -> list[InvariantResult]:
+        """Inherited crater/recovery bars plus the recovery-path bars."""
+        tenant = runner.tenants[0]
+        notes = tenant.notes
+        mismatches = notes.get("persist_mismatches", -1)
+        restore = notes.get("persist_restore_seconds", float("inf"))
+        rebuild = notes.get("persist_rebuild_seconds", 0.0)
+        files = notes.get("persist_segment_files", 0)
+        shards = notes.get("persist_num_shards", 1)
+        results = super().invariants(runner)
+        results.extend(
+            [
+                InvariantResult(
+                    name="restore_matches_live_index",
+                    passed=mismatches == 0,
+                    observed=float(mismatches),
+                    bar="== 0",
+                    detail=(
+                        "restored engine must hold the exact live document "
+                        f"set and rank {self.PROBE_QUERIES} probe queries "
+                        "with identical scores (churn included)"
+                    ),
+                ),
+                InvariantResult(
+                    name="restore_faster_than_rebuild",
+                    passed=restore <= rebuild + self.SLACK_SECONDS,
+                    observed=restore,
+                    bar=f"<= rebuild ({rebuild:.4f}s) + {self.SLACK_SECONDS}s",
+                    detail=(
+                        "loading segments must not lose to re-adding every "
+                        "catalog document (best of "
+                        f"{self.TIMING_ROUNDS} rounds each)"
+                    ),
+                ),
+                InvariantResult(
+                    name="segments_persisted",
+                    passed=files >= shards,
+                    observed=float(files),
+                    bar=f">= {shards} (one full segment per shard)",
+                    detail="the save must write at least one segment per shard",
+                ),
+            ]
+        )
+        return results
+
+
 class VocabDriftScenario(Scenario):
     """New-brand vocabulary drift stressing the semantic-capable tier.
 
@@ -1191,6 +1360,7 @@ SCENARIOS: dict[str, Scenario] = {
         HotKeyStormScenario(),
         ChurnStormScenario(),
         ColdRestartScenario(),
+        ColdRestartPersistentScenario(),
         VocabDriftScenario(),
     )
 }

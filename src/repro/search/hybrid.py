@@ -202,6 +202,55 @@ class HybridSearchEngine:
                     encoder.encode_titles([list(p.title_tokens) for p in catalog.products]),
                 )
 
+    # -- persistence -----------------------------------------------------------
+    def save(self, root) -> None:
+        """Persist both tiers under ``root`` (``lexical/`` + ``vector/``).
+
+        Two sibling segment stores, one per tier, each with its own
+        versioned manifest — so the tiers can be loaded, diffed and
+        compacted independently.  Incremental like the tier saves:
+        unchanged shards write nothing.
+        """
+        from pathlib import Path
+
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        self.lexical.save(root / "lexical")
+        self.vector.save(root / "vector")
+
+    @classmethod
+    def load(
+        cls,
+        root,
+        catalog: Catalog,
+        encoder,
+        search_config: SearchConfig | None = None,
+        hybrid_config: HybridConfig | None = None,
+        *,
+        parallel: bool = True,
+    ) -> "HybridSearchEngine":
+        """Cold-start a hybrid engine from a :meth:`save` directory.
+
+        Restores the lexical and vector tiers from their segment stores
+        (checksum-verified; no catalog scan, no re-encoding, no IVF
+        re-fit) and assembles them through the constructor's injection
+        parameters.  Configs are the caller's, exactly as in
+        ``__init__`` — the store persists index *state*, not policy.
+        """
+        from pathlib import Path
+
+        root = Path(root)
+        return cls(
+            catalog,
+            encoder,
+            search_config,
+            hybrid_config,
+            lexical=ShardedSearchEngine.load(
+                catalog, root / "lexical", search_config, parallel=parallel
+            ),
+            vector=ShardedVectorIndex.load(root / "vector", parallel=parallel),
+        )
+
     # -- catalog-level churn ---------------------------------------------------
     def add_product(self, product) -> None:
         """List a product in the catalog and BOTH retrieval tiers.

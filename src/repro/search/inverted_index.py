@@ -205,6 +205,35 @@ class InvertedIndex:
         """Every live doc id, ascending (the empty-query candidate set)."""
         return as_postings_array(sorted(self._docs))
 
+    # -- persistence -----------------------------------------------------------
+    def save(self, path) -> None:
+        """Write this index as one full postings segment file.
+
+        The single-file form of :mod:`repro.store` (no manifest): a
+        checksummed, zlib-compressed segment that :meth:`load` restores
+        byte-identically — postings, term frequencies, the ordered token
+        tuples behind :meth:`document`, and the corpus statistics.
+        Sharded stores go through :meth:`ShardedIndex.save` instead.
+        """
+        from pathlib import Path
+
+        from repro.store import segments as _segments
+
+        Path(path).write_bytes(_segments.encode_postings_segment(self))
+
+    @classmethod
+    def load(cls, path) -> "InvertedIndex":
+        """Restore an index saved by :meth:`save`, fully verified.
+
+        Raises a typed :class:`~repro.store.StoreError` subclass on any
+        corruption (bad magic, checksum mismatch, truncation, internal
+        inconsistency) — never returns a half-built index.
+        """
+        from repro.store import read_segment_file
+        from repro.store import segments as _segments
+
+        return _segments.decode_postings_segment(read_segment_file(path))
+
     def stats(self) -> IndexStats:
         """Point-in-time corpus statistics snapshot (copies the df table)."""
         return IndexStats(

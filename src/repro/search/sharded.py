@@ -188,6 +188,55 @@ class ShardedIndex:
                 document_frequencies=self._dfs,
             )
 
+    # -- persistence -----------------------------------------------------------
+    def save(self, root):
+        """Persist every shard into a ``"lexical"`` segment store at ``root``.
+
+        Holds all shard mutexes for the snapshot (single-writer
+        discipline: quiesce churn for the duration).  Incremental after
+        the first save: unchanged shards write nothing, churned shards
+        append a delta segment, heavily churned shards rewrite their
+        base.  Returns the new :class:`~repro.store.Manifest`.
+        """
+        import contextlib
+
+        from repro.store import SegmentStore
+
+        store = SegmentStore(root, "lexical")
+        with contextlib.ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock)
+            return store.save([shard.index for shard in self._shards])
+
+    @classmethod
+    def load(cls, root, *, parallel: bool = True) -> "ShardedIndex":
+        """Restore a sharded index saved by :meth:`save`.
+
+        The shard count comes from the store.  Global corpus statistics
+        are rebuilt as exact integer sums over the decoded shards, so
+        BM25 scores after a reload are bit-identical to the live index
+        the store was saved from.  Routing is re-validated; every
+        checksum failure raises a typed :class:`~repro.store.StoreError`.
+        """
+        import numpy as np
+
+        from repro.store import SegmentCorruptError, SegmentStore
+
+        indexes = SegmentStore(root, "lexical").load()
+        sharded = cls(len(indexes), parallel=parallel)
+        for shard_id, (shard, index) in enumerate(zip(sharded._shards, indexes)):
+            ids = np.fromiter(index._docs, dtype=np.int64, count=len(index._docs))
+            if ids.size and np.any(ids % len(indexes) != shard_id):
+                raise SegmentCorruptError(
+                    f"shard {shard_id} holds documents routed to another shard"
+                )
+            shard.index = index
+            sharded._num_docs += len(index)
+            sharded._total_length += index.total_doc_length
+            for token, postings in index._postings.items():
+                sharded._dfs[token] = sharded._dfs.get(token, 0) + len(postings)
+        return sharded
+
     # -- fan-out search --------------------------------------------------------
     def search(
         self,
@@ -279,13 +328,51 @@ class ShardedSearchEngine:
         num_shards: int = 4,
         parallel: bool = True,
         ranker: Ranker | None = None,
+        index: ShardedIndex | None = None,
     ):
+        """``index`` injects a pre-built sharded index (the restore path:
+        :meth:`load` skips the per-product catalog build entirely); when
+        given, ``num_shards``/``parallel`` are taken from it."""
         self.catalog = catalog
         self.config = config or SearchConfig(ranker="bm25")
         self.ranker = ranker or make_ranker(self.config.ranker)
-        self.index = ShardedIndex(num_shards, parallel=parallel)
-        for product in catalog.products:
-            self.index.add_document(product.product_id, product.title_tokens)
+        if index is not None:
+            self.index = index
+        else:
+            self.index = ShardedIndex(num_shards, parallel=parallel)
+            for product in catalog.products:
+                self.index.add_document(product.product_id, product.title_tokens)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, root):
+        """Persist the engine's index (see :meth:`ShardedIndex.save`)."""
+        return self.index.save(root)
+
+    @classmethod
+    def load(
+        cls,
+        catalog: Catalog,
+        root,
+        config: SearchConfig | None = None,
+        *,
+        parallel: bool = True,
+        ranker: Ranker | None = None,
+    ) -> "ShardedSearchEngine":
+        """Cold-start an engine from a segment store instead of the catalog.
+
+        Restores the sharded index from ``root`` (checksums verified,
+        global statistics rebuilt exactly) and wraps it with the given
+        catalog and config — O(store size), without re-tokenizing or
+        re-adding a single product.  The catalog is only consulted for
+        future churn, so it may legitimately differ from the persisted
+        document set until the caller reconciles them.
+        """
+        return cls(
+            catalog,
+            config,
+            ranker=ranker,
+            index=ShardedIndex.load(root, parallel=parallel),
+        )
 
     def add_document(self, doc_id: int, tokens) -> None:
         """Index a raw document (index only; see :meth:`add_product`)."""

@@ -275,6 +275,33 @@ class VectorIndex:
             self._cell_of[doc_id] = int(cell_id)
         self._dense_cache = None
 
+    # -- persistence -----------------------------------------------------------
+    def save(self, path) -> None:
+        """Write this index as one full IVF-cell segment file.
+
+        The single-file form of :mod:`repro.store`: centroids, per-cell
+        member ids and vectors in live cell order, and the geometry
+        (dim, clusters, nprobe, seed) — so :meth:`load` reproduces the
+        exact cell layout and therefore the exact probe results.
+        """
+        from pathlib import Path
+
+        from repro.store import segments as _segments
+
+        Path(path).write_bytes(_segments.encode_vectors_segment(self))
+
+    @classmethod
+    def load(cls, path) -> "VectorIndex":
+        """Restore an index saved by :meth:`save`, fully verified.
+
+        Raises a typed :class:`~repro.store.StoreError` subclass on any
+        corruption; never returns a half-built index.
+        """
+        from repro.store import read_segment_file
+        from repro.store import segments as _segments
+
+        return _segments.decode_vectors_segment(read_segment_file(path))
+
     # -- search ----------------------------------------------------------------
     def search(
         self, query: np.ndarray, k: int, *, nprobe: int | None = None
@@ -424,6 +451,60 @@ class ShardedVectorIndex:
         shard = self._shards[self.shard_of(doc_id)]
         with shard.lock:
             shard.index.remove_document(doc_id)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, root):
+        """Persist every shard into a ``"vector"`` segment store at ``root``.
+
+        Holds all shard mutexes for the snapshot (single-writer
+        discipline: quiesce churn for the duration).  Incremental: after
+        the first save, only changed shards get a delta segment — unless
+        a shard was re-fit, which forces a full rewrite of that shard.
+        Returns the new :class:`~repro.store.Manifest`.
+        """
+        import contextlib
+
+        from repro.store import SegmentStore
+
+        store = SegmentStore(root, "vector")
+        with contextlib.ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock)
+            return store.save(
+                [shard.index for shard in self._shards], meta={"dim": self.dim}
+            )
+
+    @classmethod
+    def load(cls, root, *, parallel: bool = True) -> "ShardedVectorIndex":
+        """Restore a sharded vector index saved by :meth:`save`.
+
+        Shard count and per-shard geometry come from the store; only the
+        ``parallel`` execution knob is the caller's.  Every segment is
+        checksum-verified; routing (``doc_id % num_shards``) is
+        re-validated against the decoded shards.
+        """
+        from repro.store import SegmentStore, SegmentCorruptError
+
+        indexes = SegmentStore(root, "vector").load()
+        dims = {index.dim for index in indexes}
+        if len(dims) != 1:
+            raise SegmentCorruptError(f"shards disagree on vector dim: {sorted(dims)}")
+        sharded = cls(
+            indexes[0].dim,
+            num_shards=len(indexes),
+            parallel=parallel,
+            seed=indexes[0].seed,
+        )
+        for shard_id, (shard, index) in enumerate(zip(sharded._shards, indexes)):
+            ids = np.fromiter(
+                index._vectors, dtype=np.int64, count=len(index._vectors)
+            )
+            if ids.size and np.any(ids % len(indexes) != shard_id):
+                raise SegmentCorruptError(
+                    f"shard {shard_id} holds documents routed to another shard"
+                )
+            shard.index = index
+        return sharded
 
     # -- fan-out search --------------------------------------------------------
     def search(

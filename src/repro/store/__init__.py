@@ -1,0 +1,60 @@
+"""Persistent on-disk index segments with a versioned manifest.
+
+``repro.store`` is the persistence layer under the retrieval tiers: it
+serializes :class:`~repro.search.inverted_index.InvertedIndex` postings
+and :class:`~repro.search.vector.VectorIndex` IVF cells into
+checksummed, zlib-compressed binary segments with contiguous array
+payloads, tracked by a versioned JSON manifest — so a cold process
+restores full search state in seconds without touching the catalog.
+
+Layering:
+
+* :mod:`repro.store.blocks` — the struct-packed block container (magic,
+  version, per-section CRC32 of the uncompressed payload).
+* :mod:`repro.store.segments` — postings / IVF-cell codecs, full and
+  delta forms.
+* :mod:`repro.store.manifest` — :class:`Manifest` / :class:`SegmentRef`
+  with format versioning, per-segment checksums, doc counts and id
+  ranges, plus incremental :meth:`Manifest.diff`.
+* :mod:`repro.store.store` — :class:`SegmentStore`: per-shard save
+  (full or delta), fully-verified load, and segment-level compaction.
+
+The search classes wire through this package via ``save``/``load``
+methods (``InvertedIndex``, ``VectorIndex``, ``ShardedIndex``,
+``ShardedVectorIndex``, ``ShardedSearchEngine``,
+``HybridSearchEngine``), all documented in ``docs/PERSISTENCE.md``.
+Every failure mode raises a typed :class:`StoreError` subclass — see
+:mod:`repro.store.errors` and the corruption-fuzz suite in
+``tests/test_store_corruption.py``.
+"""
+
+from repro.store.errors import (
+    ManifestError,
+    ManifestVersionError,
+    SegmentCorruptError,
+    SegmentVersionError,
+    StoreError,
+)
+from repro.store.manifest import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Manifest,
+    SegmentRef,
+)
+from repro.store.store import SegmentStore, read_segment_file
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "Manifest",
+    "ManifestError",
+    "ManifestVersionError",
+    "SegmentCorruptError",
+    "SegmentStore",
+    "SegmentRef",
+    "SegmentVersionError",
+    "StoreError",
+    "read_segment_file",
+]

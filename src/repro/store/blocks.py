@@ -1,0 +1,175 @@
+"""Checksummed, zlib-compressed block container for segment files.
+
+One segment file is a small struct-packed header followed by N
+*sections* — independent zlib streams, each carrying the CRC32 and
+length of its **uncompressed** payload:
+
+```
+offset  size  field
+0       4     magic  b"RSEG"
+4       2     format version (little-endian u16)
+6       2     segment kind code (u16; postings/vectors, full/delta)
+8       4     section count (u32)
+12      ...   per section: u32 crc32(raw) | u64 raw_len | u64 comp_len
+              followed by comp_len bytes of zlib data
+              (comp_len == raw_len: raw bytes, stored uncompressed)
+```
+
+Sections that zlib cannot shrink — dense float embedding matrices,
+mostly — are *stored*: the raw bytes are written as-is and flagged by
+``comp_len == raw_len`` (the writer never emits an equal-length zlib
+stream, so the flag is unambiguous).  Cold-start loads then skip
+decompression entirely for exactly the payloads where it buys nothing,
+which is most of the restore's bytes.
+
+Checksums always cover the *uncompressed* bytes, and the manifest-level
+payload checksum (:func:`payload_checksum`) chains the same raw bytes —
+never the compressed stream — so checksums are stable across zlib
+builds and compression levels, which is what keeps the pinned golden
+manifest fixture deterministic.
+
+Every decode failure — bad magic, truncated header, section lengths
+that overrun the file, zlib errors, length or CRC mismatches — raises
+:class:`~repro.store.errors.SegmentCorruptError`; a future format
+version raises :class:`~repro.store.errors.SegmentVersionError`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.store.errors import SegmentCorruptError, SegmentVersionError
+
+#: four-byte magic at offset 0 of every segment file
+MAGIC = b"RSEG"
+#: the segment container version this library reads and writes
+SEGMENT_VERSION = 1
+
+#: segment kind codes (the manifest carries the matching kind strings)
+KIND_POSTINGS = 1
+KIND_POSTINGS_DELTA = 2
+KIND_VECTORS = 3
+KIND_VECTORS_DELTA = 4
+
+_FILE_HEADER = struct.Struct("<4sHHI")
+_SECTION_HEADER = struct.Struct("<IQQ")
+
+#: sanity bound on the section count — no codec writes more than a
+#: handful, so a huge count is corruption, not a big segment
+MAX_SECTIONS = 64
+
+
+def payload_checksum(sections: list[bytes]) -> int:
+    """CRC32 chained over the raw (uncompressed) section payloads.
+
+    This is the per-segment checksum recorded in the manifest; covering
+    raw bytes keeps it independent of the zlib build and level.
+    """
+    crc = 0
+    for section in sections:
+        crc = zlib.crc32(section, crc)
+    return crc & 0xFFFFFFFF
+
+
+def pack_segment(
+    kind: int, sections: list[bytes], *, level: int = 6, stored: tuple[int, ...] = ()
+) -> bytes:
+    """Serialize raw ``sections`` into one checksummed segment file body.
+
+    Section indexes named in ``stored`` skip zlib outright — dense
+    float payloads compress a little but cost real decompression time
+    on every cold start, a bad trade for the restore path.
+    """
+    if len(sections) > MAX_SECTIONS:
+        raise ValueError(f"too many sections: {len(sections)} > {MAX_SECTIONS}")
+    parts = [_FILE_HEADER.pack(MAGIC, SEGMENT_VERSION, kind, len(sections))]
+    for at, section in enumerate(sections):
+        compressed = section if at in stored else zlib.compress(section, level)
+        # store incompressible sections raw; comp_len == raw_len is the
+        # stored flag, so an equal-length zlib stream must never be written
+        if len(compressed) >= len(section):
+            compressed = section
+        parts.append(
+            _SECTION_HEADER.pack(
+                zlib.crc32(section) & 0xFFFFFFFF, len(section), len(compressed)
+            )
+        )
+        parts.append(compressed)
+    return b"".join(parts)
+
+
+def unpack_segment(
+    data: bytes, *, expected_kind: int | None = None, expected_crc: int | None = None
+) -> tuple[int, list[bytes]]:
+    """Parse and verify a segment file body into ``(kind, sections)``.
+
+    Verifies, in order: magic, container version (future versions raise
+    :class:`SegmentVersionError`), section count bound, per-section
+    bounds against the file size, zlib integrity, decompressed length,
+    per-section CRC32, trailing garbage, the expected kind code, and —
+    when ``expected_crc`` is given (the manifest's record) — the chained
+    payload checksum.  Any failure raises
+    :class:`SegmentCorruptError`.
+    """
+    if len(data) < _FILE_HEADER.size:
+        raise SegmentCorruptError(
+            f"segment too short for its header: {len(data)} bytes"
+        )
+    magic, version, kind, count = _FILE_HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise SegmentCorruptError(f"bad segment magic {magic!r}")
+    if version > SEGMENT_VERSION:
+        raise SegmentVersionError(
+            f"segment container version {version} is newer than the supported "
+            f"version {SEGMENT_VERSION}; refusing to guess at its layout"
+        )
+    if version < 1:
+        raise SegmentCorruptError(f"invalid segment container version {version}")
+    if count > MAX_SECTIONS:
+        raise SegmentCorruptError(f"implausible section count {count}")
+    if expected_kind is not None and kind != expected_kind:
+        raise SegmentCorruptError(
+            f"segment kind {kind} does not match expected kind {expected_kind}"
+        )
+
+    sections: list[bytes] = []
+    offset = _FILE_HEADER.size
+    for index in range(count):
+        if offset + _SECTION_HEADER.size > len(data):
+            raise SegmentCorruptError(f"section {index} header truncated")
+        crc, raw_len, comp_len = _SECTION_HEADER.unpack_from(data, offset)
+        offset += _SECTION_HEADER.size
+        if offset + comp_len > len(data):
+            raise SegmentCorruptError(
+                f"section {index} body overruns the file "
+                f"({comp_len} bytes at offset {offset}, file is {len(data)})"
+            )
+        compressed = data[offset : offset + comp_len]
+        offset += comp_len
+        if comp_len == raw_len:
+            raw = compressed  # stored section: raw bytes, no zlib stream
+        else:
+            try:
+                raw = zlib.decompress(compressed)
+            except zlib.error as error:
+                raise SegmentCorruptError(
+                    f"section {index} failed to decompress: {error}"
+                ) from None
+            if len(raw) != raw_len:
+                raise SegmentCorruptError(
+                    f"section {index} decompressed to {len(raw)} bytes, "
+                    f"header says {raw_len}"
+                )
+        if zlib.crc32(raw) & 0xFFFFFFFF != crc:
+            raise SegmentCorruptError(f"section {index} checksum mismatch")
+        sections.append(raw)
+    if offset != len(data):
+        raise SegmentCorruptError(
+            f"{len(data) - offset} trailing bytes after the last section"
+        )
+    if expected_crc is not None and payload_checksum(sections) != expected_crc:
+        raise SegmentCorruptError(
+            "segment payload checksum does not match the manifest record"
+        )
+    return kind, sections

@@ -1,0 +1,55 @@
+"""Typed error hierarchy of the persistent segment store.
+
+Every failure the store can produce — unreadable files, checksum
+mismatches, truncated blocks, malformed or future-version manifests —
+is surfaced as a subclass of :class:`StoreError`.  Nothing below this
+package ever leaks a raw ``zlib.error`` / ``struct.error`` /
+``json.JSONDecodeError`` / ``KeyError`` to a caller: the corruption-fuzz
+suite (``tests/test_store_corruption.py``) injects bit-flips,
+truncations and field mutations and requires that every load either
+round-trips byte-identically or raises one of these types — never a
+foreign exception, and never silently wrong search results.
+"""
+
+from __future__ import annotations
+
+
+class StoreError(Exception):
+    """Base class of every error raised by :mod:`repro.store`."""
+
+
+class SegmentCorruptError(StoreError):
+    """A segment file failed an integrity check.
+
+    Raised for bad magic, truncated or oversized blocks, checksum
+    mismatches (block-level or manifest-level), undecodable payloads,
+    internal inconsistencies (postings out of order, cell sizes not
+    summing to the doc count), and segment files missing on disk.
+    """
+
+
+class SegmentVersionError(SegmentCorruptError):
+    """A segment file was written by a newer format version.
+
+    Subclasses :class:`SegmentCorruptError` so "reject the file with a
+    typed error" handlers need only catch the parent; the distinct type
+    keeps version skew distinguishable from bit rot.
+    """
+
+
+class ManifestError(StoreError):
+    """The manifest is missing, unparseable, or structurally invalid.
+
+    Covers absent manifest files, JSON syntax errors, wrong format
+    markers, missing or mistyped fields, unknown segment kinds, and
+    checksum mismatches of the manifest body itself.
+    """
+
+
+class ManifestVersionError(ManifestError):
+    """The manifest declares a format version newer than this library.
+
+    Loading must fail closed: a future writer may have changed segment
+    semantics in ways this reader cannot detect, so the error message
+    names both versions instead of guessing.
+    """

@@ -1,0 +1,299 @@
+"""Versioned JSON manifest over a directory of immutable segments.
+
+The manifest is the single mutable object in a store directory: segment
+files are written once and never touched again, and each save/compact
+writes a new ``MANIFEST.json`` (atomically, via rename) that references
+the current segment set.  A reader needs nothing but the manifest to
+know what to load, in what order, and what every byte should hash to:
+
+* ``format`` / ``version`` — format marker and integer version.  A
+  future version fails closed with
+  :class:`~repro.store.errors.ManifestVersionError`.
+* ``tier`` — ``"lexical"`` (postings segments) or ``"vector"`` (IVF
+  cell segments).
+* ``num_shards`` / ``generation`` — shard layout and the monotonically
+  increasing save generation.
+* ``segments`` — one :class:`SegmentRef` per file: name, kind, owning
+  shard, generation, CRC32 of the uncompressed payload, payload size,
+  doc/remove counts and the doc-id range (the incremental-load planner
+  and the load-time cross-checks both read these).
+* ``checksum`` — CRC32 of the canonical JSON of everything above, so a
+  mutated field (not just broken syntax) is caught before any segment
+  is trusted.
+
+Per-shard segments form a *chain*: exactly one full segment (the base)
+followed by zero or more deltas in strictly increasing generation
+order; :meth:`Manifest.chain_for_shard` validates and returns it.
+:meth:`Manifest.diff` supports incremental reloads: given the manifest
+a process already has, it names exactly which segment files were added
+and removed since.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import asdict, dataclass, field
+
+from repro.store.errors import ManifestError, ManifestVersionError
+
+#: format marker every manifest must carry
+FORMAT_NAME = "repro-store"
+#: manifest schema version this library reads and writes
+FORMAT_VERSION = 1
+
+#: file name of the manifest inside a store directory
+MANIFEST_NAME = "MANIFEST.json"
+
+#: the segment kinds a manifest may reference, per tier
+KINDS_BY_TIER = {
+    "lexical": ("postings", "postings_delta"),
+    "vector": ("vectors", "vectors_delta"),
+}
+#: kinds that are full (base) segments, starting a shard's chain
+FULL_KINDS = ("postings", "vectors")
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """One immutable segment file as recorded in the manifest."""
+
+    #: file name within the store directory
+    name: str
+    #: "postings" | "postings_delta" | "vectors" | "vectors_delta"
+    kind: str
+    #: owning shard (documents with ``doc_id % num_shards == shard``)
+    shard: int
+    #: manifest generation this segment was written at
+    generation: int
+    #: CRC32 of the uncompressed section payloads (zlib-build independent)
+    checksum: int
+    #: total uncompressed payload bytes
+    payload_bytes: int
+    #: documents in a full segment / documents added by a delta
+    doc_count: int
+    #: documents removed by a delta (0 for full segments)
+    removed_count: int
+    #: smallest doc id touched (-1 when the segment is empty)
+    min_doc_id: int
+    #: largest doc id touched (-1 when the segment is empty)
+    max_doc_id: int
+
+    @property
+    def is_full(self) -> bool:
+        """True for base segments, False for deltas."""
+        return self.kind in FULL_KINDS
+
+
+_REF_FIELDS = {
+    "name": str,
+    "kind": str,
+    "shard": int,
+    "generation": int,
+    "checksum": int,
+    "payload_bytes": int,
+    "doc_count": int,
+    "removed_count": int,
+    "min_doc_id": int,
+    "max_doc_id": int,
+}
+
+
+def _manifest_body_checksum(body: dict) -> int:
+    """CRC32 of the canonical (sorted, compact) JSON of ``body``."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+@dataclass
+class Manifest:
+    """The versioned table of contents of one segment-store directory."""
+
+    tier: str
+    num_shards: int
+    generation: int
+    segments: list[SegmentRef]
+    #: free-form store metadata (e.g. the vector tier records its dim);
+    #: values must be JSON-representable scalars
+    meta: dict = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    def chain_for_shard(self, shard: int) -> list[SegmentRef]:
+        """The shard's load chain: one full base, then deltas by generation.
+
+        Raises :class:`ManifestError` when the chain is malformed —
+        no base, several bases, a delta at or before the base's
+        generation, or duplicate generations.
+        """
+        refs = sorted(
+            (ref for ref in self.segments if ref.shard == shard),
+            key=lambda ref: ref.generation,
+        )
+        fulls = [ref for ref in refs if ref.is_full]
+        if len(fulls) != 1:
+            raise ManifestError(
+                f"shard {shard} must have exactly one full segment, "
+                f"found {len(fulls)}"
+            )
+        if refs[0] is not fulls[0]:
+            raise ManifestError(
+                f"shard {shard} has a delta segment older than its base"
+            )
+        generations = [ref.generation for ref in refs]
+        if len(set(generations)) != len(generations):
+            raise ManifestError(f"shard {shard} has duplicate segment generations")
+        return refs
+
+    def diff(self, older: "Manifest | None") -> dict[str, list[str]]:
+        """Segment-file changes since ``older``: the incremental-load plan.
+
+        Returns ``{"added": [...], "removed": [...], "kept": [...]}``
+        segment names.  A reader holding ``older``'s state only needs to
+        fetch the ``added`` files (and drop the ``removed`` ones) to
+        catch up; ``older=None`` marks everything as added.
+        """
+        ours = {ref.name: ref for ref in self.segments}
+        theirs = {} if older is None else {ref.name: ref for ref in older.segments}
+        return {
+            "added": sorted(name for name in ours if name not in theirs),
+            "removed": sorted(name for name in theirs if name not in ours),
+            "kept": sorted(name for name in ours if name in theirs),
+        }
+
+    def _body(self) -> dict:
+        return {
+            "format": FORMAT_NAME,
+            "version": self.version,
+            "tier": self.tier,
+            "num_shards": self.num_shards,
+            "generation": self.generation,
+            "meta": dict(self.meta),
+            "segments": [asdict(ref) for ref in self.segments],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering (sorted keys, fixed indent).
+
+        Byte-for-byte stable for equal contents — no timestamps, no
+        compressed sizes, no environment-dependent fields — which is
+        what lets ``tests/test_store_manifest.py`` pin a golden fixture.
+        """
+        body = self._body()
+        body["checksum"] = _manifest_body_checksum(self._body())
+        return json.dumps(body, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        """Parse and validate manifest JSON, failing closed on any defect.
+
+        Validation order is deliberate: JSON syntax, format marker, and
+        the version *first* (so a future-version manifest raises
+        :class:`ManifestVersionError` even if its schema changed), then
+        the body checksum, then field-by-field structure.  Every failure
+        is a :class:`ManifestError` (or its version subclass) — never a
+        raw ``KeyError``/``TypeError``/``json.JSONDecodeError``.
+        """
+        try:
+            raw = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError, TypeError) as error:
+            raise ManifestError(f"manifest is not valid JSON: {error}") from None
+        if not isinstance(raw, dict):
+            raise ManifestError("manifest root must be a JSON object")
+        if raw.get("format") != FORMAT_NAME:
+            raise ManifestError(
+                f"missing or unknown manifest format marker {raw.get('format')!r}; "
+                f"expected {FORMAT_NAME!r}"
+            )
+        version = raw.get("version")
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise ManifestError(f"manifest version must be an integer, got {version!r}")
+        if version > FORMAT_VERSION:
+            raise ManifestVersionError(
+                f"manifest version {version} is newer than the supported "
+                f"version {FORMAT_VERSION}; upgrade the reader or re-save the "
+                "store with this version"
+            )
+        if version < 1:
+            raise ManifestError(f"invalid manifest version {version}")
+
+        checksum = raw.get("checksum")
+        if not isinstance(checksum, int) or isinstance(checksum, bool):
+            raise ManifestError("manifest is missing its integer checksum field")
+        body = {key: value for key, value in raw.items() if key != "checksum"}
+        if _manifest_body_checksum(body) != checksum:
+            raise ManifestError(
+                "manifest body checksum mismatch: a field was altered after "
+                "the manifest was written"
+            )
+
+        for key, expected_type in (
+            ("tier", str),
+            ("num_shards", int),
+            ("generation", int),
+            ("meta", dict),
+            ("segments", list),
+        ):
+            if key not in raw:
+                raise ManifestError(f"manifest is missing required field {key!r}")
+            if not isinstance(raw[key], expected_type) or isinstance(raw[key], bool):
+                raise ManifestError(
+                    f"manifest field {key!r} must be {expected_type.__name__}, "
+                    f"got {type(raw[key]).__name__}"
+                )
+        tier = raw["tier"]
+        if tier not in KINDS_BY_TIER:
+            raise ManifestError(
+                f"unknown tier {tier!r}; expected one of {sorted(KINDS_BY_TIER)}"
+            )
+        num_shards = raw["num_shards"]
+        if num_shards < 1:
+            raise ManifestError(f"num_shards must be >= 1, got {num_shards}")
+        if raw["generation"] < 1:
+            raise ManifestError(f"generation must be >= 1, got {raw['generation']}")
+
+        refs: list[SegmentRef] = []
+        names: set[str] = set()
+        for at, entry in enumerate(raw["segments"]):
+            if not isinstance(entry, dict):
+                raise ManifestError(f"segment entry {at} must be an object")
+            kwargs = {}
+            for key, expected_type in _REF_FIELDS.items():
+                if key not in entry:
+                    raise ManifestError(
+                        f"segment entry {at} is missing required field {key!r}"
+                    )
+                value = entry[key]
+                if not isinstance(value, expected_type) or isinstance(value, bool):
+                    raise ManifestError(
+                        f"segment entry {at} field {key!r} must be "
+                        f"{expected_type.__name__}, got {type(value).__name__}"
+                    )
+                kwargs[key] = value
+            ref = SegmentRef(**kwargs)
+            if ref.kind not in KINDS_BY_TIER[tier]:
+                raise ManifestError(
+                    f"segment {ref.name!r} has kind {ref.kind!r}, which is not "
+                    f"valid for tier {tier!r}"
+                )
+            if not 0 <= ref.shard < num_shards:
+                raise ManifestError(
+                    f"segment {ref.name!r} names shard {ref.shard} of {num_shards}"
+                )
+            if "/" in ref.name or "\\" in ref.name or ref.name in (".", ".."):
+                raise ManifestError(f"segment name {ref.name!r} is not a plain file name")
+            if ref.name in names:
+                raise ManifestError(f"duplicate segment name {ref.name!r}")
+            names.add(ref.name)
+            refs.append(ref)
+
+        manifest = cls(
+            tier=tier,
+            num_shards=num_shards,
+            generation=raw["generation"],
+            segments=refs,
+            meta=dict(raw["meta"]),
+            version=version,
+        )
+        for shard in range(num_shards):
+            manifest.chain_for_shard(shard)
+        return manifest

@@ -1,0 +1,407 @@
+"""The segment store: a directory of immutable segments + one manifest.
+
+:class:`SegmentStore` persists the per-shard state of one retrieval
+tier — ``"lexical"`` (:class:`~repro.search.inverted_index.InvertedIndex`
+shards) or ``"vector"`` (:class:`~repro.search.vector.VectorIndex`
+shards) — under a root directory:
+
+```
+root/
+  MANIFEST.json                      # versioned table of contents
+  lexical-s000-g000001.postings.seg  # shard 0 base segment
+  lexical-s000-g000003.postings_delta.seg
+  ...
+```
+
+Write path (:meth:`save`): the first save writes one full segment per
+shard; subsequent saves *diff* the live shards against the persisted
+state and append one delta segment per changed shard (or rewrite the
+shard's base when more than half its documents changed, or — vector
+tier — when the centroids moved, since a delta replay could not
+reproduce the new cell layout).  An unchanged store is a no-op that
+returns the existing manifest.  Segment files are immutable; each save
+bumps the manifest generation and atomically replaces ``MANIFEST.json``
+via rename, so a crash mid-save leaves the previous manifest intact and
+consistent.
+
+Read path (:meth:`load`): manifest → per-shard chain (base + deltas in
+generation order) → decode with every check on: block checksums, the
+manifest's payload checksum, and the manifest's doc-count/id-range
+records cross-checked against the decoded state.  Any mismatch raises
+a typed :class:`~repro.store.errors.StoreError` subclass.
+
+Compaction (:meth:`compact`): loads the current state, rewrites one
+fresh full segment per shard at the next generation, and deletes every
+segment file the new manifest no longer references (including orphans
+left behind by base rewrites).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.store import segments as codecs
+from repro.store.blocks import payload_checksum, unpack_segment
+from repro.store.errors import ManifestError, SegmentCorruptError
+from repro.store.manifest import (
+    KINDS_BY_TIER,
+    MANIFEST_NAME,
+    Manifest,
+    SegmentRef,
+)
+
+#: rewrite a shard's base instead of appending a delta when the changed
+#: document count exceeds this fraction of the live shard
+FULL_REWRITE_FRACTION = 0.5
+
+
+def read_segment_file(path) -> bytes:
+    """Read one segment file, wrapping I/O failures as typed corruption."""
+    try:
+        return Path(path).read_bytes()
+    except OSError as error:
+        raise SegmentCorruptError(
+            f"segment file {Path(path).name!r} is missing or unreadable: {error}"
+        ) from None
+
+
+def _id_range(doc_ids) -> tuple[int, int]:
+    """(min, max) over ``doc_ids``; (-1, -1) when empty."""
+    ids = list(doc_ids)
+    if not ids:
+        return -1, -1
+    return int(min(ids)), int(max(ids))
+
+
+class SegmentStore:
+    """Save/load/compact one tier's sharded indexes under a directory."""
+
+    def __init__(self, root, tier: str):
+        """``tier`` is ``"lexical"`` or ``"vector"``; the directory is
+        created lazily on the first :meth:`save`."""
+        if tier not in KINDS_BY_TIER:
+            raise ValueError(f"unknown tier {tier!r}; expected one of {sorted(KINDS_BY_TIER)}")
+        self.root = Path(root)
+        self.tier = tier
+
+    # -- manifest ------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        """Where this store's ``MANIFEST.json`` lives."""
+        return self.root / MANIFEST_NAME
+
+    def exists(self) -> bool:
+        """True when a manifest is present (the store has been saved)."""
+        return self.manifest_path.is_file()
+
+    def manifest(self) -> Manifest:
+        """Read and validate the manifest (typed errors on any defect)."""
+        try:
+            text = self.manifest_path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ManifestError(
+                f"no readable manifest at {self.manifest_path}: {error}"
+            ) from None
+        except UnicodeDecodeError as error:
+            raise ManifestError(f"manifest is not valid UTF-8: {error}") from None
+        manifest = Manifest.from_json(text)
+        if manifest.tier != self.tier:
+            raise ManifestError(
+                f"store at {self.root} holds tier {manifest.tier!r}, "
+                f"not {self.tier!r}"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: Manifest) -> None:
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(manifest.to_json(), encoding="utf-8")
+        os.replace(tmp, self.manifest_path)
+
+    def _segment_name(self, shard: int, generation: int, kind: str) -> str:
+        return f"{self.tier}-s{shard:03d}-g{generation:06d}.{kind}.seg"
+
+    # -- encode helpers ------------------------------------------------------
+    def _encode_full(self, index) -> tuple[bytes, int, int, tuple[int, int]]:
+        """(file bytes, checksum, payload bytes, id range) of a full segment."""
+        if self.tier == "lexical":
+            data = codecs.encode_postings_segment(index)
+            ids = index._docs
+        else:
+            data = codecs.encode_vectors_segment(index)
+            ids = index._vectors
+        _, sections = unpack_segment(data)
+        return data, payload_checksum(sections), sum(map(len, sections)), _id_range(ids)
+
+    def _encode_delta(
+        self, index, added: list[int], removed: list[int]
+    ) -> tuple[bytes, int, int, tuple[int, int]]:
+        """(file bytes, checksum, payload bytes, id range) of a delta."""
+        if self.tier == "lexical":
+            data = codecs.encode_postings_delta(index, added, removed)
+        else:
+            data = codecs.encode_vectors_delta(index, added, removed)
+        _, sections = unpack_segment(data)
+        return (
+            data,
+            payload_checksum(sections),
+            sum(map(len, sections)),
+            _id_range(list(added) + list(removed)),
+        )
+
+    def _full_kind(self) -> str:
+        return "postings" if self.tier == "lexical" else "vectors"
+
+    def _delta_kind(self) -> str:
+        return f"{self._full_kind()}_delta"
+
+    # -- diffing -------------------------------------------------------------
+    def _diff_shard(self, persisted, live) -> tuple[list[int], list[int], bool]:
+        """``(added, removed, must_rewrite)`` between two shard states.
+
+        A document whose content changed (same id, different tokens or
+        vector) appears in both lists — the delta removes the old row and
+        re-adds the new one.  ``must_rewrite`` is True when a delta could
+        not reproduce the live state (vector centroids changed, meaning
+        every cell assignment may have moved).
+        """
+        if self.tier == "lexical":
+            old, new = persisted._docs, live._docs
+            changed = lambda doc_id: old[doc_id] != new[doc_id]  # noqa: E731
+            rewrite = False
+        else:
+            old, new = persisted._vectors, live._vectors
+            changed = lambda doc_id: not np.array_equal(old[doc_id], new[doc_id])  # noqa: E731
+            a, b = persisted.centroids, live.centroids
+            rewrite = (a is None) != (b is None) or (
+                a is not None and not np.array_equal(a, b)
+            )
+        removed = sorted(
+            doc_id for doc_id in old if doc_id not in new or changed(doc_id)
+        )
+        added = sorted(
+            doc_id for doc_id in new if doc_id not in old or changed(doc_id)
+        )
+        return added, removed, rewrite
+
+    # -- save ----------------------------------------------------------------
+    def save(self, shards: list, *, meta: dict | None = None, force_full: bool = False) -> Manifest:
+        """Persist ``shards`` (one index per shard, in shard order).
+
+        First save (or ``force_full``): one full segment per shard.
+        Later saves: per-shard deltas against the persisted state, with
+        automatic base rewrite when a shard churned past
+        :data:`FULL_REWRITE_FRACTION` of its live size or (vector tier)
+        was re-fit.  A save with no changes returns the current manifest
+        untouched.  Callers must quiesce writers for the duration (the
+        sharded indexes' ``save`` methods hold every shard lock).
+        """
+        if not shards:
+            raise ValueError("save needs at least one shard")
+        self.root.mkdir(parents=True, exist_ok=True)
+
+        previous: Manifest | None = None
+        persisted: list | None = None
+        if not force_full and self.exists():
+            previous = self.manifest()
+            if previous.num_shards == len(shards):
+                persisted = self._load_indexes(previous)
+            else:
+                previous = None  # shard layout changed: full rewrite
+
+        generation = 1 if previous is None else previous.generation + 1
+        refs: list[SegmentRef] = []
+        writes: list[tuple[str, bytes]] = []
+        changed_any = previous is None
+
+        for shard_id, live in enumerate(shards):
+            if previous is None:
+                refs.append(self._full_ref(shard_id, generation, live, writes))
+                continue
+            added, removed, must_rewrite = self._diff_shard(
+                persisted[shard_id], live
+            )
+            if not added and not removed and not must_rewrite:
+                refs.extend(previous.chain_for_shard(shard_id))
+                continue
+            changed_any = True
+            live_size = max(1, len(live))
+            if must_rewrite or (len(added) + len(removed)) / live_size > FULL_REWRITE_FRACTION:
+                refs.append(self._full_ref(shard_id, generation, live, writes))
+            else:
+                name = self._segment_name(shard_id, generation, self._delta_kind())
+                data, checksum, payload_bytes, (lo, hi) = self._encode_delta(
+                    live, added, removed
+                )
+                writes.append((name, data))
+                refs.extend(previous.chain_for_shard(shard_id))
+                refs.append(
+                    SegmentRef(
+                        name=name,
+                        kind=self._delta_kind(),
+                        shard=shard_id,
+                        generation=generation,
+                        checksum=checksum,
+                        payload_bytes=payload_bytes,
+                        doc_count=len(added),
+                        removed_count=len(removed),
+                        min_doc_id=lo,
+                        max_doc_id=hi,
+                    )
+                )
+
+        if not changed_any:
+            return previous
+
+        manifest = Manifest(
+            tier=self.tier,
+            num_shards=len(shards),
+            generation=generation,
+            segments=refs,
+            meta=dict(meta if meta is not None else (previous.meta if previous else {})),
+        )
+        for name, data in writes:
+            (self.root / name).write_bytes(data)
+        self._write_manifest(manifest)
+        return manifest
+
+    def _full_ref(self, shard_id: int, generation: int, live, writes) -> SegmentRef:
+        name = self._segment_name(shard_id, generation, self._full_kind())
+        data, checksum, payload_bytes, (lo, hi) = self._encode_full(live)
+        writes.append((name, data))
+        return SegmentRef(
+            name=name,
+            kind=self._full_kind(),
+            shard=shard_id,
+            generation=generation,
+            checksum=checksum,
+            payload_bytes=payload_bytes,
+            doc_count=len(live),
+            removed_count=0,
+            min_doc_id=lo,
+            max_doc_id=hi,
+        )
+
+    # -- load ----------------------------------------------------------------
+    def load(self) -> list:
+        """Reconstruct every shard's index, fully verified.
+
+        Applies each shard's chain (base, then deltas in generation
+        order) with block checksums, manifest payload checksums, and the
+        manifest's doc-count / id-range records all enforced.  Returns
+        the per-shard index list in shard order.
+        """
+        return self._load_indexes(self.manifest())
+
+    def _load_indexes(self, manifest: Manifest) -> list:
+        indexes = []
+        for shard_id in range(manifest.num_shards):
+            chain = manifest.chain_for_shard(shard_id)
+            base, deltas = chain[0], chain[1:]
+            data = read_segment_file(self.root / base.name)
+            if self.tier == "lexical":
+                index = codecs.decode_postings_segment(
+                    data, expected_crc=base.checksum
+                )
+                live_ids = index._docs
+            else:
+                index = codecs.decode_vectors_segment(
+                    data, expected_crc=base.checksum
+                )
+                live_ids = index._vectors
+            self._check_ref(base, len(index), _id_range(live_ids))
+            for ref in deltas:
+                data = read_segment_file(self.root / ref.name)
+                if self.tier == "lexical":
+                    docs, removed = codecs.decode_postings_delta(
+                        data, expected_crc=ref.checksum
+                    )
+                    touched = list(docs) + removed
+                    self._check_ref(ref, len(docs), _id_range(touched), removed=len(removed))
+                    codecs.apply_postings_delta(index, data, expected_crc=ref.checksum)
+                else:
+                    added, vectors, removed = codecs.decode_vectors_delta(
+                        data, expected_crc=ref.checksum
+                    )
+                    touched = added + removed
+                    self._check_ref(ref, len(added), _id_range(touched), removed=len(removed))
+                    codecs.apply_vectors_delta(index, data, expected_crc=ref.checksum)
+            indexes.append(index)
+        return indexes
+
+    @staticmethod
+    def _check_ref(ref: SegmentRef, doc_count: int, id_range, *, removed: int = 0) -> None:
+        if doc_count != ref.doc_count or removed != ref.removed_count:
+            raise SegmentCorruptError(
+                f"segment {ref.name!r} decoded {doc_count} docs / {removed} "
+                f"removes, manifest records {ref.doc_count} / {ref.removed_count}"
+            )
+        if id_range != (ref.min_doc_id, ref.max_doc_id):
+            raise SegmentCorruptError(
+                f"segment {ref.name!r} doc-id range {id_range} does not match "
+                f"the manifest record ({ref.min_doc_id}, {ref.max_doc_id})"
+            )
+
+    # -- compaction ----------------------------------------------------------
+    def compact(self) -> Manifest:
+        """Collapse every shard's chain into a fresh base segment.
+
+        Loads the current state, writes one full segment per shard at
+        the next generation, swaps the manifest, and deletes every
+        ``.seg`` file the new manifest does not reference — both the
+        superseded chain and any orphans from earlier base rewrites.
+        Returns the new manifest.
+        """
+        previous = self.manifest()
+        indexes = self._load_indexes(previous)
+        generation = previous.generation + 1
+        writes: list[tuple[str, bytes]] = []
+        refs = [
+            self._full_ref(shard_id, generation, index, writes)
+            for shard_id, index in enumerate(indexes)
+        ]
+        manifest = Manifest(
+            tier=self.tier,
+            num_shards=previous.num_shards,
+            generation=generation,
+            segments=refs,
+            meta=dict(previous.meta),
+        )
+        for name, data in writes:
+            (self.root / name).write_bytes(data)
+        self._write_manifest(manifest)
+        keep = {ref.name for ref in manifest.segments}
+        for path in self.root.glob("*.seg"):
+            if path.name not in keep:
+                path.unlink()
+        return manifest
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> dict:
+        """Size and shape of the store on disk (for benchmarks and docs).
+
+        Returns segment/delta counts, the manifest generation, total
+        file bytes (compressed, as stored) and total payload bytes
+        (uncompressed, as recorded in the manifest).
+        """
+        manifest = self.manifest()
+        file_bytes = sum(
+            (self.root / ref.name).stat().st_size
+            for ref in manifest.segments
+            if (self.root / ref.name).is_file()
+        )
+        deltas = sum(1 for ref in manifest.segments if not ref.is_full)
+        return {
+            "tier": manifest.tier,
+            "num_shards": manifest.num_shards,
+            "generation": manifest.generation,
+            "segments": len(manifest.segments),
+            "delta_segments": deltas,
+            "file_bytes": int(file_bytes),
+            "payload_bytes": sum(ref.payload_bytes for ref in manifest.segments),
+            "doc_count": sum(
+                ref.doc_count - ref.removed_count for ref in manifest.segments
+            ),
+        }

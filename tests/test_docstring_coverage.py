@@ -17,7 +17,7 @@ import importlib
 import inspect
 import pkgutil
 
-PACKAGES = ("repro.search", "repro.embedding", "repro.online")
+PACKAGES = ("repro.search", "repro.embedding", "repro.online", "repro.store")
 
 
 def _iter_modules():

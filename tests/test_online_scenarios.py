@@ -29,12 +29,13 @@ SMOKE = ScenarioConfig().scaled(0.04)
 
 
 class TestRegistry:
-    def test_registry_holds_the_five_arms(self):
+    def test_registry_holds_the_six_arms(self):
         assert set(SCENARIOS) == {
             "multi_tenant",
             "hot_key_storm",
             "churn_storm",
             "cold_restart",
+            "cold_restart_persistent",
             "vocab_drift",
         }
 
@@ -159,7 +160,13 @@ class TestSmokeRuns:
         } <= names
 
     def test_single_tenant_arms_pin_num_tenants(self):
-        for name in ("hot_key_storm", "churn_storm", "cold_restart", "vocab_drift"):
+        for name in (
+            "hot_key_storm",
+            "churn_storm",
+            "cold_restart",
+            "cold_restart_persistent",
+            "vocab_drift",
+        ):
             assert SCENARIOS[name].adjust(SMOKE).num_tenants == 1
 
     def test_runner_accepts_default_config(self):

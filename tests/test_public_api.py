@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.evaluation",
     "repro.experiments",
     "repro.online",
+    "repro.store",
 ]
 
 
@@ -82,3 +83,52 @@ def test_scenario_library_surface():
     ):
         assert symbol in online.__all__, symbol
         assert hasattr(online, symbol), symbol
+
+
+def test_store_surface():
+    """The persistence layer is part of repro.store's public contract."""
+    from repro import store
+
+    for symbol in (
+        "SegmentStore",
+        "Manifest",
+        "SegmentRef",
+        "StoreError",
+        "SegmentCorruptError",
+        "SegmentVersionError",
+        "ManifestError",
+        "ManifestVersionError",
+        "FORMAT_NAME",
+        "FORMAT_VERSION",
+        "MANIFEST_NAME",
+        "read_segment_file",
+    ):
+        assert symbol in store.__all__, symbol
+        assert hasattr(store, symbol), symbol
+
+    # The typed hierarchy the corruption contract promises.
+    assert issubclass(store.SegmentCorruptError, store.StoreError)
+    assert issubclass(store.SegmentVersionError, store.SegmentCorruptError)
+    assert issubclass(store.ManifestError, store.StoreError)
+    assert issubclass(store.ManifestVersionError, store.ManifestError)
+
+    # The search tier actually exposes the wired persistence methods.
+    from repro.search import (
+        HybridSearchEngine,
+        ShardedSearchEngine,
+        ShardedVectorIndex,
+        VectorIndex,
+    )
+    from repro.search.inverted_index import InvertedIndex
+    from repro.search.sharded import ShardedIndex
+
+    for cls in (
+        InvertedIndex,
+        VectorIndex,
+        ShardedIndex,
+        ShardedVectorIndex,
+        ShardedSearchEngine,
+        HybridSearchEngine,
+    ):
+        assert callable(getattr(cls, "save")), cls.__name__
+        assert callable(getattr(cls, "load")), cls.__name__

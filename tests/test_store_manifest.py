@@ -1,0 +1,256 @@
+"""Manifest versioning: round-trips, version skew, and the golden pin.
+
+Three guarantees keep old and new processes honest about each other's
+stores:
+
+* **Round-trip** — ``Manifest.to_json`` → ``from_json`` is lossless,
+  and the rendering is deterministic (no timestamps, no compressed
+  sizes, no dict-order dependence), so equal stores produce equal
+  bytes.
+* **Version skew fails closed, with useful messages** — a manifest
+  written by a *future* format version raises
+  :class:`ManifestVersionError` naming both versions (even when the
+  future schema added or dropped fields); every missing or mistyped
+  field of the current version raises :class:`ManifestError` naming
+  the field.  A reader never guesses.
+* **The golden fixture** — a hand-built, RNG-free corpus saved through
+  the real :class:`~repro.search.sharded.ShardedIndex` path must
+  reproduce ``tests/data/golden_manifest.json`` byte-for-byte.  Any
+  format change — field added, checksum algorithm touched, name scheme
+  reshuffled — trips this test and forces a deliberate version bump.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.search.sharded import ShardedIndex
+from repro.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Manifest,
+    ManifestError,
+    ManifestVersionError,
+    SegmentRef,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_manifest.json"
+
+#: the RNG-free corpus behind the golden fixture: (doc_id, tokens)
+GOLDEN_DOCS = [
+    (0, ("wireless", "mouse", "ergonomic")),
+    (1, ("mechanical", "keyboard", "rgb")),
+    (2, ("usb", "hub", "aluminium")),
+    (3, ("wireless", "keyboard", "compact")),
+    (4, ("gaming", "mouse", "wired")),
+    (5, ("laptop", "stand", "aluminium")),
+]
+
+
+def _ref(**overrides) -> SegmentRef:
+    base = dict(
+        name="lexical-s000-g000001.postings.seg",
+        kind="postings",
+        shard=0,
+        generation=1,
+        checksum=123,
+        payload_bytes=456,
+        doc_count=7,
+        removed_count=0,
+        min_doc_id=0,
+        max_doc_id=12,
+    )
+    base.update(overrides)
+    return SegmentRef(**base)
+
+
+def _manifest(**overrides) -> Manifest:
+    base = dict(
+        tier="lexical",
+        num_shards=1,
+        generation=1,
+        segments=[_ref()],
+        meta={"note": "x"},
+    )
+    base.update(overrides)
+    return Manifest(**base)
+
+
+class TestRoundtrip:
+    def test_to_json_from_json_is_lossless(self):
+        manifest = _manifest()
+        parsed = Manifest.from_json(manifest.to_json())
+        assert parsed == manifest
+
+    def test_rendering_is_deterministic(self):
+        assert _manifest().to_json() == _manifest().to_json()
+
+    def test_current_version_is_embedded(self):
+        raw = json.loads(_manifest().to_json())
+        assert raw["version"] == FORMAT_VERSION
+        assert raw["format"] == "repro-store"
+
+    def test_diff_names_added_removed_kept(self):
+        old = _manifest()
+        new = _manifest(
+            generation=2,
+            segments=[
+                _ref(),
+                _ref(name="lexical-s000-g000002.postings_delta.seg",
+                     kind="postings_delta", generation=2),
+            ],
+        )
+        delta = new.diff(old)
+        assert delta["kept"] == ["lexical-s000-g000001.postings.seg"]
+        assert delta["added"] == ["lexical-s000-g000002.postings_delta.seg"]
+        assert delta["removed"] == []
+        assert new.diff(None)["added"] == sorted(r.name for r in new.segments)
+
+
+def _mutated_json(edit) -> str:
+    """Golden-path manifest JSON with ``edit`` applied to the body dict.
+
+    The checksum is recomputed after the edit, so these tests exercise
+    the *structural* validators, not just the checksum gate.
+    """
+    from repro.store.manifest import _manifest_body_checksum
+
+    body = json.loads(_manifest().to_json())
+    body.pop("checksum")
+    edit(body)
+    body["checksum"] = _manifest_body_checksum(body)
+    return json.dumps(body)
+
+
+class TestVersionSkew:
+    def test_future_version_raises_version_error_naming_both(self):
+        text = _mutated_json(lambda body: body.update(version=FORMAT_VERSION + 5))
+        with pytest.raises(ManifestVersionError) as excinfo:
+            Manifest.from_json(text)
+        message = str(excinfo.value)
+        assert str(FORMAT_VERSION + 5) in message
+        assert str(FORMAT_VERSION) in message
+        assert "newer" in message
+
+    def test_future_version_with_alien_schema_still_versions_cleanly(self):
+        """Version check precedes structure checks: a future manifest
+        whose schema changed entirely must still say 'version', not
+        'missing field'."""
+
+        def gut(body):
+            body["version"] = FORMAT_VERSION + 1
+            body.pop("segments")
+            body["shard_map"] = {"0": "somewhere-else"}
+
+        with pytest.raises(ManifestVersionError):
+            Manifest.from_json(_mutated_json(gut))
+
+    def test_version_error_is_a_manifest_error(self):
+        text = _mutated_json(lambda body: body.update(version=FORMAT_VERSION + 1))
+        with pytest.raises(ManifestError):
+            Manifest.from_json(text)
+
+    def test_zero_and_non_integer_versions_are_rejected(self):
+        for bad in (0, -1, "1", 1.5, True, None):
+            text = _mutated_json(lambda body, bad=bad: body.update(version=bad))
+            with pytest.raises(ManifestError):
+                Manifest.from_json(text)
+
+
+class TestStructuralValidation:
+    @pytest.mark.parametrize(
+        "field", ["tier", "num_shards", "generation", "meta", "segments"]
+    )
+    def test_each_missing_field_is_named(self, field):
+        text = _mutated_json(lambda body: body.pop(field))
+        with pytest.raises(ManifestError, match=field):
+            Manifest.from_json(text)
+
+    @pytest.mark.parametrize(
+        "field",
+        ["name", "kind", "shard", "generation", "checksum", "payload_bytes",
+         "doc_count", "removed_count", "min_doc_id", "max_doc_id"],
+    )
+    def test_each_missing_segment_field_is_named(self, field):
+        text = _mutated_json(lambda body: body["segments"][0].pop(field))
+        with pytest.raises(ManifestError, match=field):
+            Manifest.from_json(text)
+
+    def test_checksum_gate_catches_any_field_mutation(self):
+        body = json.loads(_manifest().to_json())
+        body["generation"] = 7  # mutate WITHOUT recomputing the checksum
+        with pytest.raises(ManifestError, match="checksum"):
+            Manifest.from_json(json.dumps(body))
+
+    def test_not_json_and_wrong_root_fail_closed(self):
+        with pytest.raises(ManifestError, match="JSON"):
+            Manifest.from_json("{nope")
+        with pytest.raises(ManifestError, match="object"):
+            Manifest.from_json("[1, 2]")
+
+    def test_wrong_format_marker(self):
+        text = _mutated_json(lambda body: body.update(format="other-store"))
+        with pytest.raises(ManifestError, match="format"):
+            Manifest.from_json(text)
+
+    def test_alien_kind_and_tier_are_rejected(self):
+        with pytest.raises(ManifestError, match="tier"):
+            Manifest.from_json(_mutated_json(lambda body: body.update(tier="graph")))
+        text = _mutated_json(
+            lambda body: body["segments"][0].update(kind="vectors")
+        )
+        with pytest.raises(ManifestError, match="kind"):
+            Manifest.from_json(text)
+
+    def test_duplicate_segment_names_are_rejected(self):
+        def dup(body):
+            body["segments"].append(dict(body["segments"][0]))
+
+        with pytest.raises(ManifestError, match="duplicate"):
+            Manifest.from_json(_mutated_json(dup))
+
+    def test_path_escaping_segment_names_are_rejected(self):
+        def escape(body):
+            body["segments"][0]["name"] = "../../etc/passwd"
+
+        with pytest.raises(ManifestError, match="plain file name"):
+            Manifest.from_json(_mutated_json(escape))
+
+    def test_shardless_chain_is_rejected(self):
+        """Two shards declared, but only shard 0 has a base segment."""
+        text = _mutated_json(lambda body: body.update(num_shards=2))
+        with pytest.raises(ManifestError, match="exactly one full"):
+            Manifest.from_json(text)
+
+
+def _golden_store(root) -> str:
+    """Save the RNG-free corpus through the real sharded path."""
+    index = ShardedIndex(num_shards=2, parallel=False)
+    for doc_id, tokens in GOLDEN_DOCS:
+        index.add_document(doc_id, tokens)
+    index.save(root)
+    return (root / MANIFEST_NAME).read_text()
+
+
+class TestGoldenManifest:
+    def test_fixture_exists_and_parses(self):
+        golden = GOLDEN_PATH.read_text()
+        manifest = Manifest.from_json(golden)
+        assert manifest.version == FORMAT_VERSION
+        assert manifest.tier == "lexical"
+        assert manifest.num_shards == 2
+
+    def test_saving_the_pinned_corpus_reproduces_the_golden_bytes(self, tmp_path):
+        assert _golden_store(tmp_path) == GOLDEN_PATH.read_text(), (
+            "MANIFEST.json drifted from tests/data/golden_manifest.json — "
+            "if the format change is intentional, bump FORMAT_VERSION and "
+            "regenerate the fixture"
+        )
+
+    def test_two_independent_saves_are_byte_identical(self, tmp_path):
+        first = _golden_store(tmp_path / "a")
+        second = _golden_store(tmp_path / "b")
+        assert first == second
