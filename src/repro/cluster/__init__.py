@@ -1,0 +1,43 @@
+"""Cluster tier: pluggable shard backends, worker processes, replicas.
+
+The GIL-breaking layer under the sharded retrieval facades.  A
+:class:`ShardBackend` owns one tier's per-shard index state and
+executes the named ops of :mod:`repro.cluster.ops` against it —
+in-process with threads (:class:`InprocBackend`, today's behavior byte
+for byte) or as one ``multiprocessing`` worker per shard serving RPCs
+over pipes (:class:`ProcessBackend`, cold-startable from
+:class:`~repro.store.SegmentStore` segments).  :class:`ReplicaRouter`
+fronts N state-identical replicas with health-checked routing,
+broadcast writes, and transparent failover on liveness errors.
+
+See ``docs/CLUSTER.md`` for the architecture, failure semantics, and
+determinism guarantees.
+"""
+
+from repro.cluster.backend import InprocBackend, ProcessBackend, ShardBackend
+from repro.cluster.errors import (
+    ClusterError,
+    NoHealthyReplicaError,
+    ShardTimeoutError,
+    ShardUnavailableError,
+    ShardWorkerError,
+)
+from repro.cluster.ops import MUTATING_OPS, OPS
+from repro.cluster.pool import LazyExecutor, clamp_workers
+from repro.cluster.replica import ReplicaRouter
+
+__all__ = [
+    "ClusterError",
+    "InprocBackend",
+    "LazyExecutor",
+    "MUTATING_OPS",
+    "NoHealthyReplicaError",
+    "OPS",
+    "ProcessBackend",
+    "ReplicaRouter",
+    "ShardBackend",
+    "ShardTimeoutError",
+    "ShardUnavailableError",
+    "ShardWorkerError",
+    "clamp_workers",
+]

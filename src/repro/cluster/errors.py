@@ -1,0 +1,49 @@
+"""Typed errors for the cluster tier, split by failover semantics.
+
+The split matters: the :class:`~repro.cluster.replica.ReplicaRouter`
+reroutes a request to another replica **only** on a *liveness* failure
+(:class:`ShardUnavailableError` and subclasses) — a dead worker, a
+broken pipe, a timed-out reply.  *Application* errors (a duplicate add,
+an unknown doc id) propagate with their original exception type, because
+every replica holds the same state and would fail the same way;
+rerouting those would just repeat the failure while hiding the cause.
+"""
+
+from __future__ import annotations
+
+
+class ClusterError(RuntimeError):
+    """Base class for every cluster-tier failure."""
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard's backing worker or backend is not serving (liveness).
+
+    Raised for dead processes, closed/broken pipes, and backends that
+    were killed by failure injection.  This is the only error family the
+    replica router treats as grounds for failover.
+    """
+
+
+class ShardTimeoutError(ShardUnavailableError):
+    """A shard worker missed its reply deadline.
+
+    The worker is killed when this is raised — after a missed deadline
+    the request/reply pipe is desynchronized, so the only safe recovery
+    is a respawn from segments.
+    """
+
+
+class ShardWorkerError(ClusterError):
+    """A worker raised an exception that could not be reconstructed.
+
+    Application errors cross the pipe as ``(module, qualname, args)`` and
+    are re-raised in the parent with their original type; when that
+    rebuild fails (exotic constructor, unpicklable args) this wrapper
+    carries the remote type name and traceback instead.  Not a liveness
+    error: the router will not reroute it.
+    """
+
+
+class NoHealthyReplicaError(ClusterError):
+    """Every replica is unhealthy; the request cannot be served."""

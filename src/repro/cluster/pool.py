@@ -1,0 +1,76 @@
+"""One shared lazy thread-pool lifecycle for every fan-out consumer.
+
+:class:`ShardedIndex` and :class:`ShardedVectorIndex` used to carry
+copy-pasted ``_ensure_executor`` bodies that sized the pool to
+``num_shards`` unconditionally — 8 shards meant 8 threads even on a
+1-core box, and the duplicated lifecycle invited drift.
+:class:`LazyExecutor` centralizes the idiom: created on first use,
+clamped to the machine (``min(num_shards, os.cpu_count())``), shut down
+explicitly via :meth:`close` or the context-manager protocol, and safe
+to reuse after a close (the next submit recreates the pool).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Callable, Iterable, Iterator
+
+
+def clamp_workers(requested: int) -> int:
+    """Pool size for ``requested`` parallel tasks on this machine.
+
+    ``min(requested, os.cpu_count())``, never below 1.  More threads
+    than cores cannot run concurrently under the GIL anyway; they only
+    add scheduling overhead and idle stacks.
+    """
+    return max(1, min(requested, os.cpu_count() or 1))
+
+
+class LazyExecutor:
+    """A :class:`ThreadPoolExecutor` that exists only while needed.
+
+    Thread-safe lazy creation; idempotent :meth:`close`; usable as a
+    context manager.  ``max_workers`` is clamped by
+    :func:`clamp_workers` at creation time.
+    """
+
+    def __init__(self, max_workers: int, *, thread_name_prefix: str = "fan-out"):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = clamp_workers(max_workers)
+        self.thread_name_prefix = thread_name_prefix
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def running(self) -> bool:
+        """True while a pool is live (between first use and close)."""
+        return self._executor is not None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix=self.thread_name_prefix,
+                )
+            return self._executor
+
+    def map(self, fn: Callable, items: Iterable) -> Iterator:
+        """``executor.map`` through the lazily created pool."""
+        return self._ensure().map(fn, items)
+
+    def close(self) -> None:
+        """Shut the pool down and release its threads (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "LazyExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,232 @@
+"""N-way replica routing with health checks and transparent failover.
+
+A :class:`ReplicaRouter` fronts N :class:`~repro.cluster.backend.
+ShardBackend` replicas that serve identical data (each loaded from the
+same segment-store generation, or kept in lockstep by broadcast
+writes).  It exposes the same ``call``/``fanout``/``quiesce``/``close``
+surface as a single backend, so the sharded facades cannot tell one
+replica from many:
+
+* **Reads** (search, stats, digests) route to one healthy replica,
+  rotating round-robin.  A liveness failure
+  (:class:`~repro.cluster.errors.ShardUnavailableError`, which includes
+  timeouts) marks that replica unhealthy and retries the next one —
+  transparent failover, identical results, because every replica holds
+  the same state.
+* **Writes** (:data:`~repro.cluster.ops.MUTATING_OPS`) broadcast to
+  every healthy replica so survivors stay identical; a replica that
+  dies mid-broadcast is marked unhealthy and skipped.
+* **Application errors** propagate unchanged: every replica would fail
+  the same way, so rerouting them would only repeat the failure.
+
+``kill_replica`` injects a failure without telling the router — the
+next request that touches the dead replica discovers it organically,
+which is exactly what the ``shard_failover`` scenario arm measures.
+``respawn_replica`` re-attaches a replacement backend (typically booted
+from a shipped snapshot, see ``SegmentStore.ship_snapshot``) and marks
+it healthy again.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.cluster.backend import ShardBackend
+from repro.cluster.errors import NoHealthyReplicaError, ShardUnavailableError
+from repro.cluster.ops import MUTATING_OPS
+
+
+class ReplicaRouter:
+    """Route shard ops across N state-identical backend replicas."""
+
+    def __init__(self, replicas: list):
+        """``replicas`` must agree on tier and shard count."""
+        if not replicas:
+            raise ValueError("router needs at least one replica")
+        tiers = {replica.tier for replica in replicas}
+        counts = {replica.num_shards for replica in replicas}
+        if len(tiers) != 1 or len(counts) != 1:
+            raise ValueError(
+                f"replicas disagree on tier/shards: {sorted(tiers)} / {sorted(counts)}"
+            )
+        self.replicas: list[ShardBackend] = list(replicas)
+        self.tier = replicas[0].tier
+        self.num_shards = replicas[0].num_shards
+        self._healthy = [True] * len(self.replicas)
+        self._cursor = 0
+        self._lock = threading.Lock()
+        self._counters = {
+            "failovers": 0,
+            "rerouted_requests": 0,
+            "writes_skipped": 0,
+            "respawns": 0,
+        }
+
+    # -- health --------------------------------------------------------------
+    @property
+    def healthy_replicas(self) -> int:
+        """How many replicas are currently marked healthy."""
+        return sum(self._healthy)
+
+    def _mark_unhealthy(self, at: int) -> None:
+        with self._lock:
+            if self._healthy[at]:
+                self._healthy[at] = False
+                self._counters["failovers"] += 1
+
+    def kill_replica(self, at: int) -> None:
+        """Failure injection: kill replica ``at`` WITHOUT marking it.
+
+        The router keeps routing to it until a real request fails —
+        failover must be discovered organically, as in production.
+        """
+        self.replicas[at].kill()
+
+    def respawn_replica(self, at: int, backend: ShardBackend) -> None:
+        """Attach a replacement backend for replica ``at``, healthy again."""
+        if backend.tier != self.tier or backend.num_shards != self.num_shards:
+            raise ValueError("replacement replica disagrees on tier/shards")
+        old = self.replicas[at]
+        self.replicas[at] = backend
+        with self._lock:
+            self._healthy[at] = True
+            self._counters["respawns"] += 1
+        with contextlib.suppress(Exception):
+            old.close()
+
+    # -- routing -------------------------------------------------------------
+    def _rotation(self) -> list[int]:
+        """Healthy replica order for one read, advancing the round-robin."""
+        with self._lock:
+            order = [
+                at
+                for offset in range(len(self.replicas))
+                for at in [(self._cursor + offset) % len(self.replicas)]
+                if self._healthy[at]
+            ]
+            self._cursor = (self._cursor + 1) % len(self.replicas)
+            if any(not healthy for healthy in self._healthy):
+                self._counters["rerouted_requests"] += 1
+        if not order:
+            raise NoHealthyReplicaError(
+                f"all {len(self.replicas)} {self.tier} replicas are unhealthy"
+            )
+        return order
+
+    def _routed(self, run):
+        """Run a read on one healthy replica, failing over on liveness."""
+        last: ShardUnavailableError | None = None
+        for at in self._rotation():
+            try:
+                return run(self.replicas[at])
+            except ShardUnavailableError as error:
+                self._mark_unhealthy(at)
+                last = error
+        raise NoHealthyReplicaError(
+            f"all {len(self.replicas)} {self.tier} replicas failed"
+        ) from last
+
+    def _broadcast(self, run):
+        """Apply a write to every healthy replica; survivors stay identical.
+
+        Liveness failures mark the replica unhealthy and skip it
+        (counted, so operators can see how much state a respawn must
+        restore); application errors propagate immediately — replicas
+        validate before mutating, so none has applied the write.
+        """
+        result = None
+        applied = False
+        for at, replica in enumerate(self.replicas):
+            if not self._healthy[at]:
+                with self._lock:
+                    self._counters["writes_skipped"] += 1
+                continue
+            try:
+                outcome = run(replica)
+            except ShardUnavailableError:
+                self._mark_unhealthy(at)
+                with self._lock:
+                    self._counters["writes_skipped"] += 1
+                continue
+            if not applied:
+                result = outcome
+                applied = True
+        if not applied:
+            raise NoHealthyReplicaError(
+                f"no healthy {self.tier} replica accepted the write"
+            )
+        return result
+
+    # -- the backend surface -------------------------------------------------
+    def call(self, shard_id: int, op: str, *args):
+        """Route one op: broadcast writes, round-robin reads."""
+        if op in MUTATING_OPS:
+            return self._broadcast(lambda r: r.call(shard_id, op, *args))
+        return self._routed(lambda r: r.call(shard_id, op, *args))
+
+    def fanout(self, op: str, *args) -> list:
+        """Route a whole-tier op (same write/read split as :meth:`call`)."""
+        if op in MUTATING_OPS:
+            return self._broadcast(lambda r: r.fanout(op, *args))
+        return self._routed(lambda r: r.fanout(op, *args))
+
+    @contextlib.contextmanager
+    def quiesce(self):
+        """Quiesce one healthy replica (with failover) for persistence."""
+        last: ShardUnavailableError | None = None
+        for at in self._rotation():
+            try:
+                manager = self.replicas[at].quiesce()
+                indexes = manager.__enter__()
+            except ShardUnavailableError as error:
+                # Only *entering* the snapshot fails over; an error raised
+                # by the caller's own body must propagate untouched.
+                self._mark_unhealthy(at)
+                last = error
+                continue
+            try:
+                yield indexes
+            except BaseException as error:
+                if not manager.__exit__(type(error), error, error.__traceback__):
+                    raise
+            else:
+                manager.__exit__(None, None, None)
+            return
+        raise NoHealthyReplicaError(
+            f"all {len(self.replicas)} {self.tier} replicas failed"
+        ) from last
+
+    def kill(self) -> None:
+        """Failure injection for the whole group (router stays answerable)."""
+        for replica in self.replicas:
+            replica.kill()
+
+    def close(self) -> None:
+        """Close every replica, dead ones included (idempotent)."""
+        for replica in self.replicas:
+            with contextlib.suppress(Exception):
+                replica.close()
+
+    def __enter__(self) -> "ReplicaRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> dict:
+        """Raw failover counters plus the health picture."""
+        with self._lock:
+            counters = dict(self._counters)
+        counters["replicas"] = len(self.replicas)
+        counters["healthy_replicas"] = self.healthy_replicas
+        return counters
+
+    def describe(self) -> dict:
+        """The :meth:`ShardBackend.describe` shape, with real counters."""
+        info = self.stats()
+        names = sorted({replica.name for replica in self.replicas})
+        info["backend"] = f"{'+'.join(names)}x{len(self.replicas)}"
+        info["num_shards"] = self.num_shards
+        return info

@@ -111,6 +111,12 @@ class ServingStats:
     cache_expirations: int = 0
     cache_fill_ratio: float = 0.0
     cache_shard_occupancy: list[int] = field(default_factory=list)
+    #: cluster-tier gauges, mirrored from the engine's shard backend
+    #: after each retrieval batch ("" / zeros when the engine has no
+    #: backend; see :mod:`repro.cluster`)
+    search_backend: str = ""
+    failovers: int = 0
+    rerouted_requests: int = 0
 
     @property
     def total(self) -> int:
@@ -138,6 +144,9 @@ class ServingStats:
             "cache_expirations": self.cache_expirations,
             "cache_fill_ratio": self.cache_fill_ratio,
             "cache_shard_occupancy": list(self.cache_shard_occupancy),
+            "search_backend": self.search_backend,
+            "failovers": self.failovers,
+            "rerouted_requests": self.rerouted_requests,
         }
 
     def mean_latency_ms(self) -> float:
@@ -184,6 +193,8 @@ def sum_counters(stats_list) -> dict:
         "search_postings_accessed": 0,
         "cache_evictions": 0,
         "cache_expirations": 0,
+        "failovers": 0,
+        "rerouted_requests": 0,
         "search_by_mode": {},
     }
     for stats in stats_list:
@@ -457,4 +468,21 @@ class ServingPipeline:
                     latency_ms=served.latency_ms + retrieval_ms,
                 )
             )
+        self._sync_cluster_gauges()
         return results
+
+    def _sync_cluster_gauges(self) -> None:
+        """Mirror the engine's cluster counters into :class:`ServingStats`.
+
+        Engines without a shard backend (a plain ``SearchEngine``) expose
+        no ``cluster_stats``; the gauges then stay at their zero defaults.
+        The mirrored values are deterministic under replay: failovers and
+        reroutes are driven by scripted kill/respawn events, not timing.
+        """
+        reader = getattr(self.search_engine, "cluster_stats", None)
+        if not callable(reader):
+            return
+        cluster = reader()
+        self.stats.search_backend = cluster.get("backend", "")
+        self.stats.failovers = int(cluster.get("failovers", 0))
+        self.stats.rerouted_requests = int(cluster.get("rerouted_requests", 0))

@@ -20,11 +20,22 @@ merged top-k again matches the unsharded engine exactly), exercises
 incremental ``add_document``/``remove_document`` churn, and re-checks the
 Figure 5 invariant that the merged tree's postings cost never exceeds the
 separate trees'.
+
+The worker-scaling sweep replays the same requests through 1/2/4/8
+:class:`~repro.cluster.ProcessBackend` shard workers (each cold-started
+from segments) against the in-process thread fan-out: results must stay
+identical to the unsharded engine at every worker count, and on machines
+with the cores to show it, 8 workers must beat the thread baseline by a
+cores-gated qps ratio (no GIL on the scoring path).
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -43,6 +54,20 @@ TOP_K = 100
 TIMING_ROUNDS = 3
 NUM_SHARDS = 4
 CHURN_DOCS = 500
+#: process-worker counts swept against the thread-backend baseline
+WORKER_COUNTS = (1, 2, 4, 8)
+#: (cores floor, required qps ratio of 8 process workers over threads);
+#: near-linear scaling is only observable when the cores exist, so the
+#: bar is gated on the machine — one core means no bar at all (SKIP)
+WORKER_QPS_BARS = ((8, 3.0), (4, 1.5), (2, 1.1))
+
+
+def _worker_qps_bar(cores: int) -> float | None:
+    """The cores-gated qps-ratio bar (None below two cores)."""
+    for floor, bar in WORKER_QPS_BARS:
+        if cores >= floor:
+            return bar
+    return None
 
 
 def _build_catalog(scale: ExperimentScale) -> Catalog:
@@ -151,6 +176,54 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
     sharded_seconds = time.perf_counter() - started
     sharded_matches = sum(a == b for a, b in zip(sharded_topk, unsharded_topk))
 
+    # Worker scaling: the same corpus behind 1/2/4/8 process workers,
+    # each cold-started from segments, against the thread fan-out
+    # baseline.  Process results must equal the unsharded top-k exactly
+    # (equivalence by construction); the qps bar is cores-gated.
+    cores = os.cpu_count() or 1
+    thread_engine = ShardedSearchEngine(
+        catalog, config, num_shards=max(WORKER_COUNTS), parallel=True
+    )
+    started = time.perf_counter()
+    for _ in range(timing_rounds):
+        for query, rewrites in requests:
+            thread_engine.search(query, rewrites)
+    thread_qps = total_queries / (time.perf_counter() - started)
+    thread_engine.close()
+
+    worker_qps: dict[int, float] = {}
+    worker_matches = 0
+    worker_compared = 0
+    sweep_root = Path(tempfile.mkdtemp(prefix="repro-worker-sweep-"))
+    try:
+        for workers in WORKER_COUNTS:
+            build = ShardedSearchEngine(
+                catalog, config, num_shards=workers, parallel=False
+            )
+            store = sweep_root / f"workers-{workers}"
+            build.save(store)
+            build.close()
+            process_engine = ShardedSearchEngine.load(
+                catalog, store, config, backend="process"
+            )
+            try:
+                for (query, rewrites), expected in zip(requests, unsharded_topk):
+                    worker_compared += 1
+                    if process_engine.search(query, rewrites).doc_ids == expected:
+                        worker_matches += 1
+                started = time.perf_counter()
+                for _ in range(timing_rounds):
+                    for query, rewrites in requests:
+                        process_engine.search(query, rewrites)
+                worker_qps[workers] = total_queries / (time.perf_counter() - started)
+            finally:
+                process_engine.close()
+    finally:
+        shutil.rmtree(sweep_root, ignore_errors=True)
+    scaling_ratio = worker_qps[max(WORKER_COUNTS)] / thread_qps
+    qps_bar = _worker_qps_bar(cores)
+    bar_met = qps_bar is None or scaling_ratio >= qps_bar
+
     # Incremental churn: the catalog is no longer build-once.
     generator = CatalogGenerator(CatalogConfig(seed=scale.seed))
     churn_rng = np.random.default_rng(scale.seed + 2)
@@ -187,6 +260,15 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
         "churn_docs_removed": churn_docs // 2,
         "docs_after_churn": docs_after_churn,
         "churn_probe_found": bool(probe_hit),
+        "worker_cpu_count": cores,
+        "worker_thread_qps": thread_qps,
+        **{
+            f"worker_qps_{workers}": qps for workers, qps in worker_qps.items()
+        },
+        "worker_scaling_ratio": scaling_ratio,
+        "worker_match_rate": worker_matches / worker_compared,
+        "worker_qps_bar": 0.0 if qps_bar is None else qps_bar,
+        "worker_bar_met": bool(bar_met),
     }
     rows = [
         ["seed path (sets + full sort)", f"{measured['seed_ms_per_query']:.2f} ms/q", "-"],
@@ -209,6 +291,30 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentResult:
             "incremental churn",
             f"+{churn_docs}/-{churn_docs // 2} docs",
             f"{docs_after_churn} indexed, probe {'hit' if probe_hit else 'MISS'}",
+        ],
+        [
+            f"thread fan-out baseline ({max(WORKER_COUNTS)} shards)",
+            f"{thread_qps:.0f} q/s",
+            "-",
+        ],
+        *[
+            [
+                f"process workers x{workers}",
+                f"{qps:.0f} q/s",
+                f"{qps / thread_qps:.2f}x threads, "
+                f"match {measured['worker_match_rate']:.0%}",
+            ]
+            for workers, qps in worker_qps.items()
+        ],
+        [
+            "worker scaling verdict",
+            f"{scaling_ratio:.2f}x @ {cores} cores",
+            (
+                "SKIP (bar needs >= 2 cores)"
+                if qps_bar is None
+                else ("PASS" if bar_met else "FAIL")
+            )
+            + f" (bar {qps_bar or 0.0:.1f}x)",
         ],
     ]
     rendered = ascii_table(["path", "latency", "vs seed"], rows, float_format="{:.3f}")

@@ -2,8 +2,9 @@
 
 The scenario library (:mod:`repro.online.scenarios`) packages the online
 serving stack's regression harness into named arms — multi-tenant
-isolation, hot-key storm, churn storm, cold-restart, vocabulary drift —
-each with deterministic traffic and pinned pass/fail invariants.  This
+isolation, hot-key storm, churn storm, cold-restart, vocabulary drift,
+replica failover — each with deterministic traffic and pinned pass/fail
+invariants.  This
 experiment runs every registered arm at the requested scale and renders
 one row per invariant, so the CLI artifact doubles as a human-readable
 conformance report for the serving tier.

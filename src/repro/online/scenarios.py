@@ -40,6 +40,13 @@ Registered scenarios (:data:`SCENARIOS`):
 * ``vocab_drift`` — a new brand floods the query stream while its
   products list mid-trace; bars pin that the semantic-capable hybrid
   tier adopts the new vocabulary end to end.
+* ``shard_failover`` — the tenant serves through a two-replica
+  :class:`~repro.cluster.ReplicaRouter`; one replica is killed
+  mid-trace and later respawned from a shipped snapshot.  Bars pin
+  that failover is transparent: every retrieval result is
+  byte-identical to a healthy twin run, the scheduler sheds nothing,
+  and the respawned replica restores the same generation (equal
+  per-shard digests).
 
 Isolation is modelled physically: tenants share one physical
 :class:`~repro.core.cache.RewriteCache` through
@@ -62,6 +69,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.baselines.rule_based import RuleBasedRewriter
+from repro.cluster import ReplicaRouter
 from repro.core.cache import RewriteCache
 from repro.core.serving import (
     ServedSearch,
@@ -84,7 +92,8 @@ from repro.online.scheduler import (
 )
 from repro.online.stats import WindowedStats
 from repro.search.engine import SearchConfig
-from repro.search.sharded import ShardedSearchEngine
+from repro.search.sharded import ShardedIndex, ShardedSearchEngine, resolve_backend
+from repro.store import SegmentStore
 from repro.text import normalize
 
 
@@ -315,6 +324,9 @@ class TenantState:
     #: (request sequence, served-from-cache, query) per completion,
     #: dispatch order
     serve_log: list = field(default_factory=list)
+    #: (query, retrieved doc-id tuple) per search completion, dispatch
+    #: order — the byte-identity surface for failover arms
+    search_log: list = field(default_factory=list)
     #: arrival time -> request sequence number (for window analyses)
     seq_of: dict = field(default_factory=dict)
     initial_products: int = 0
@@ -372,6 +384,17 @@ class Scenario:
         and layer their recovery on top of the cache swap.
         """
         runner.swap_cache(tenant)
+
+    def on_failover(
+        self, runner: "ScenarioRunner", tenant: TenantState, payload
+    ) -> None:
+        """Handle a ``"failover"`` trace event for ``tenant``.
+
+        The payload names the injected incident (``"kill"`` /
+        ``"respawn"``); the default scenario has no replica tier, so the
+        event is a no-op.  ``shard_failover`` overrides this to kill and
+        respawn one :class:`~repro.cluster.ReplicaRouter` replica.
+        """
 
     def invariants(self, runner: "ScenarioRunner") -> list[InvariantResult]:
         """Arm-specific pinned bars, appended to the common invariants."""
@@ -512,6 +535,7 @@ class ScenarioRunner:
             if isinstance(outcome, ServedSearch):
                 served = outcome.served
                 tenant.searches += 1
+                tenant.search_log.append((outcome.query, tuple(outcome.doc_ids)))
                 upper = tenant.id_base + cfg.tenant_id_stride
                 for doc_id in outcome.doc_ids:
                     if doc_id in tenant.removed_ids:
@@ -621,6 +645,8 @@ class ScenarioRunner:
                 tenant.removes_applied += len(payload.removed)
             elif kind == "restart":
                 self.scenario.on_restart(self, tenant)
+            elif kind == "failover":
+                self.scenario.on_failover(self, tenant, payload)
             else:
                 seq = tenant.submitted
                 tenant.submitted += 1
@@ -1173,7 +1199,7 @@ class ColdRestartPersistentScenario(ColdRestartScenario):
             tenant.notes["persist_segment_bytes"] = sum(
                 path.stat().st_size for path in segment_files
             )
-            tenant.notes["persist_num_shards"] = len(restored.index._shards)
+            tenant.notes["persist_num_shards"] = restored.index.num_shards
         finally:
             shutil.rmtree(root, ignore_errors=True)
 
@@ -1352,6 +1378,201 @@ class VocabDriftScenario(Scenario):
         ]
 
 
+class ShardFailoverScenario(Scenario):
+    """Replica death and snapshot respawn under live traffic.
+
+    The tenant serves through a two-replica
+    :class:`~repro.cluster.ReplicaRouter` (both replicas restored from
+    the same segment-store generation, kept in lockstep by broadcast
+    writes).  Mid-trace one replica is killed — the router must discover
+    the death organically and fail over — and later respawned from a
+    snapshot quiesced off the surviving replica and shipped with
+    :meth:`~repro.store.SegmentStore.ship_snapshot`.  The bars pin what
+    "transparent" means: every retrieval result in the whole trace is
+    byte-identical to a healthy twin run (same config, no injection),
+    the scheduler sheds nothing, and the respawned replica carries the
+    shipped generation with per-shard digests equal to the survivor's.
+    """
+
+    name = "shard_failover"
+    description = (
+        "a replica dies mid-trace and respawns from a shipped snapshot; "
+        "byte-identity + zero-shed bars"
+    )
+    #: request-sequence fractions where the injected incidents land
+    KILL_AT = 0.45
+    RESPAWN_AT = 0.75
+    NUM_REPLICAS = 2
+
+    def __init__(self, inject: bool = True):
+        """``inject=False`` builds the identical replica deployment but
+        skips the kill/respawn — the healthy twin the byte-identity bar
+        replays against."""
+        self.inject = inject
+
+    def adjust(self, config: ScenarioConfig) -> ScenarioConfig:
+        """Single tenant — the incident is a per-deployment event."""
+        return dataclasses.replace(config, num_tenants=1)
+
+    def build_engine(self, market, config: ScenarioConfig):
+        """Two state-identical inproc replicas behind a router.
+
+        The catalog is indexed once, saved to a scratch segment store,
+        and both replicas are restored from that one generation — the
+        same-state precondition failover correctness rests on.  The
+        scratch root rides on the engine (``cluster_root``) for the
+        respawn event; :meth:`invariants` removes it.
+        """
+        seed = ShardedSearchEngine(
+            market.catalog, SearchConfig(ranker="bm25"), num_shards=2, parallel=False
+        )
+        root = Path(tempfile.mkdtemp(prefix="repro-failover-"))
+        seed.save(root / "gen")
+        seed.close()
+        replicas = [
+            resolve_backend("lexical", "inproc", root / "gen", parallel=False)
+            for _ in range(self.NUM_REPLICAS)
+        ]
+        engine = ShardedSearchEngine(
+            market.catalog,
+            SearchConfig(ranker="bm25"),
+            index=ShardedIndex(backend=ReplicaRouter(replicas)),
+        )
+        engine.cluster_root = root
+        return engine
+
+    def transform_trace(self, tenant: TenantState, events: list, config: ScenarioConfig) -> list:
+        """Insert the kill and the respawn at fixed request fractions.
+
+        The twin (``inject=False``) gets the same events — its
+        :meth:`on_failover` ignores them — so both runs replay exactly
+        the same trace structure.
+        """
+        n = config.requests_per_tenant
+        kill_seq = int(n * self.KILL_AT)
+        respawn_seq = int(n * self.RESPAWN_AT)
+        out = []
+        seq = 0
+        for kind, at, payload in events:
+            if kind == "request":
+                if seq == kill_seq:
+                    out.append(("failover", at, "kill"))
+                if seq == respawn_seq:
+                    out.append(("failover", at, "respawn"))
+                seq += 1
+            out.append((kind, at, payload))
+        return out
+
+    def on_failover(self, runner: ScenarioRunner, tenant: TenantState, payload) -> None:
+        """Kill replica 0, or respawn it from a shipped snapshot.
+
+        The kill deliberately does NOT tell the router — the next
+        request that touches the dead replica must discover it and fail
+        over organically.  The respawn is the full production path:
+        quiesce a healthy replica (itself failover-protected), save its
+        shards, ship the snapshot with per-segment checksum
+        re-verification, restore a fresh backend from the shipped copy,
+        and attach it.  Digest/generation evidence lands in
+        ``tenant.notes`` (never in telemetry, which must stay
+        fingerprint-identical run to run).
+        """
+        if not self.inject:
+            return
+        router = tenant.engine.index.backend
+        if payload == "kill":
+            router.kill_replica(0)
+            return
+        root = tenant.engine.cluster_root
+        save_dir = root / "respawn-save"
+        saved = tenant.engine.save(save_dir)
+        shipped = SegmentStore(save_dir, "lexical").ship_snapshot(
+            root / "respawn-dest"
+        )
+        replacement = resolve_backend(
+            "lexical", "inproc", root / "respawn-dest", parallel=False
+        )
+        survivor_digests = router.fanout("digest")
+        respawn_digests = replacement.fanout("digest")
+        router.respawn_replica(0, replacement)
+        tenant.notes["failover_generation_match"] = (
+            shipped.generation == saved.generation
+        )
+        tenant.notes["failover_digest_match"] = survivor_digests == respawn_digests
+
+    def invariants(self, runner: ScenarioRunner) -> list[InvariantResult]:
+        """Transparency bars: discovery, zero sheds, restore, byte-identity.
+
+        The byte-identity bar replays the healthy twin
+        (``inject=False``, same config) and compares the full per-search
+        ``(query, doc_ids)`` logs — rerouted retrievals must be
+        indistinguishable from never having failed at all.
+        """
+        tenant = runner.tenants[0]
+        root = getattr(tenant.engine, "cluster_root", None)
+        if not self.inject:
+            # The twin judges nothing arm-specific; just drop its scratch.
+            if root is not None:
+                shutil.rmtree(root, ignore_errors=True)
+            return []
+        router = tenant.engine.index.backend
+        stats = router.stats()
+        try:
+            twin_runner = ScenarioRunner(type(self)(inject=False), runner.config)
+            twin_runner.run()
+            twin_log = twin_runner.tenants[0].search_log
+        finally:
+            if root is not None:
+                shutil.rmtree(root, ignore_errors=True)
+        mismatches = sum(
+            1 for mine, theirs in zip(tenant.search_log, twin_log) if mine != theirs
+        ) + abs(len(tenant.search_log) - len(twin_log))
+        totals = sum_counters([t.pipeline.stats for t in runner.tenants])
+        return [
+            InvariantResult(
+                name="failover_discovered_organically",
+                passed=stats["failovers"] >= 1
+                and stats["respawns"] == 1
+                and stats["healthy_replicas"] == self.NUM_REPLICAS,
+                observed=float(stats["failovers"]),
+                bar=">= 1 failover, 1 respawn, all replicas healthy at end",
+                detail=(
+                    f"failovers={stats['failovers']} respawns={stats['respawns']} "
+                    f"healthy={stats['healthy_replicas']}/{stats['replicas']} "
+                    f"rerouted={stats['rerouted_requests']}"
+                ),
+            ),
+            InvariantResult(
+                name="failover_sheds_nothing",
+                passed=totals["shed"] == 0,
+                observed=float(totals["shed"]),
+                bar="== 0",
+                detail="a replica death must not push the scheduler into shedding",
+            ),
+            InvariantResult(
+                name="respawn_restores_generation",
+                passed=tenant.notes.get("failover_generation_match", False)
+                and tenant.notes.get("failover_digest_match", False),
+                observed=float(tenant.notes.get("failover_digest_match", False)),
+                bar="shipped generation + per-shard digests match the survivor",
+                detail=(
+                    f"generation_match="
+                    f"{tenant.notes.get('failover_generation_match')} "
+                    f"digest_match={tenant.notes.get('failover_digest_match')}"
+                ),
+            ),
+            InvariantResult(
+                name="rerouted_results_byte_identical",
+                passed=mismatches == 0 and len(tenant.search_log) > 0,
+                observed=float(mismatches),
+                bar="== 0 (against a healthy twin replay)",
+                detail=(
+                    f"{len(tenant.search_log)} retrievals compared against the "
+                    "no-injection twin; every (query, doc_ids) pair must match"
+                ),
+            ),
+        ]
+
+
 #: registry of every pinned scenario, keyed by stable name
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
@@ -1362,6 +1583,7 @@ SCENARIOS: dict[str, Scenario] = {
         ColdRestartScenario(),
         ColdRestartPersistentScenario(),
         VocabDriftScenario(),
+        ShardFailoverScenario(),
     )
 }
 

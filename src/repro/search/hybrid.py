@@ -228,14 +228,20 @@ class HybridSearchEngine:
         hybrid_config: HybridConfig | None = None,
         *,
         parallel: bool = True,
+        backend: str = "inproc",
+        timeout: float | None = None,
     ) -> "HybridSearchEngine":
         """Cold-start a hybrid engine from a :meth:`save` directory.
 
         Restores the lexical and vector tiers from their segment stores
         (checksum-verified; no catalog scan, no re-encoding, no IVF
         re-fit) and assembles them through the constructor's injection
-        parameters.  Configs are the caller's, exactly as in
-        ``__init__`` — the store persists index *state*, not policy.
+        parameters.  ``backend`` picks both tiers' deployment —
+        ``"inproc"`` threads or ``"process"`` shard workers (see
+        :meth:`~repro.search.sharded.ShardedIndex.load`) — with
+        identical results either way.  Configs are the caller's, exactly
+        as in ``__init__`` — the store persists index *state*, not
+        policy.
         """
         from pathlib import Path
 
@@ -246,9 +252,16 @@ class HybridSearchEngine:
             search_config,
             hybrid_config,
             lexical=ShardedSearchEngine.load(
-                catalog, root / "lexical", search_config, parallel=parallel
+                catalog,
+                root / "lexical",
+                search_config,
+                parallel=parallel,
+                backend=backend,
+                timeout=timeout,
             ),
-            vector=ShardedVectorIndex.load(root / "vector", parallel=parallel),
+            vector=ShardedVectorIndex.load(
+                root / "vector", parallel=parallel, backend=backend, timeout=timeout
+            ),
         )
 
     # -- catalog-level churn ---------------------------------------------------
@@ -357,8 +370,29 @@ class HybridSearchEngine:
             nprobe=self.config.nprobe,
         )
 
+    def cluster_stats(self) -> dict:
+        """Combined backend/failover counters across both tiers.
+
+        The backend label is the lexical tier's when the tiers agree,
+        or ``"lexical+vector"`` joined otherwise; numeric counters
+        (failovers, rerouted requests, respawns) are summed so the
+        serving layer can export one gauge per pipeline.
+        """
+        lex = self.lexical.cluster_stats()
+        vec = self.vector.cluster_stats()
+        labels = {lex["backend"], vec["backend"]}
+        return {
+            "backend": lex["backend"] if len(labels) == 1 else "+".join(sorted(labels)),
+            "num_shards": lex["num_shards"],
+            "replicas": lex["replicas"],
+            "healthy_replicas": min(lex["healthy_replicas"], vec["healthy_replicas"]),
+            "failovers": lex["failovers"] + vec["failovers"],
+            "rerouted_requests": lex["rerouted_requests"] + vec["rerouted_requests"],
+            "respawns": lex["respawns"] + vec["respawns"],
+        }
+
     def close(self) -> None:
-        """Shut down both tiers' fan-out thread pools."""
+        """Shut down both tiers' fan-out pools and workers."""
         self.lexical.close()
         self.vector.close()
 

@@ -11,18 +11,23 @@ Layout and semantics:
 
 * **Partitioning** — ``doc_id % num_shards``, stable and computable by
   any tier without a routing table.
-* **Single-writer shards** — each shard pairs an ``InvertedIndex`` with
-  its own mutex; ``add_document``/``remove_document`` lock only the owning
-  shard, so writers to different shards never contend.  A search takes
-  each shard's mutex for the duration of that shard's local evaluation,
-  so it never observes a half-applied write; searches across shards still
-  run in parallel, and a write stalls only searches of its own shard.
+* **Pluggable backends** — shard state lives behind a
+  :class:`~repro.cluster.ShardBackend`: threads in this process
+  (:class:`~repro.cluster.InprocBackend`, the default — single-writer
+  mutex per shard, fan-out through one clamped shared pool), worker
+  *processes* serving RPCs over pipes
+  (:class:`~repro.cluster.ProcessBackend`, breaking the GIL), or an
+  N-way :class:`~repro.cluster.ReplicaRouter` over either.  Both
+  backends execute the same :mod:`repro.cluster.ops` handlers, so the
+  deployment choice never changes a result.
 * **Fan-out / merge** — a query (plus rewrites) compiles to ONE merged
   syntax tree (Section III-H applies unchanged per shard), every shard
   evaluates and ranks its local top-k, and the per-shard ``(score,
-  doc_id)`` heaps merge into the global top-k.  Because every shard ranks
-  against *global* corpus statistics (:meth:`ShardedIndex.stats`), the
-  merged result is identical to ranking an unsharded index.
+  doc_id)`` heaps merge into the global top-k.  Every shard ranks
+  against *global* corpus statistics, pinned into the ranker and pruned
+  to the query's own tokens (the only frequencies the ranker protocol
+  consults) so they ship over a pipe in O(query) bytes — the merged
+  result is identical to ranking an unsharded index, bit for bit.
 * **Cost accounting** — ``postings_accessed`` sums over shards.  A term's
   postings are split across shards, so the total equals the unsharded
   cost modulo per-shard early exits, and the merged-tree-vs-separate-trees
@@ -33,13 +38,12 @@ from __future__ import annotations
 
 import heapq
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.cluster import InprocBackend, ProcessBackend, ShardBackend
 from repro.data.catalog import Catalog
 from repro.search.engine import SearchConfig, SearchOutcome
-from repro.search.inverted_index import IndexStats, InvertedIndex
-from repro.search.postings import union_sorted
+from repro.search.inverted_index import IndexStats
 from repro.search.ranking import Ranker, make_ranker
 from repro.search.syntax_tree import build_tree, merge_queries, tree_size
 from repro.text import tokenize
@@ -63,6 +67,51 @@ def merge_topk(
     return [(-neg, doc_id) for neg, doc_id in merged]
 
 
+def resolve_backend(
+    tier: str,
+    backend,
+    root,
+    *,
+    parallel: bool = True,
+    timeout: float | None = None,
+):
+    """Materialize a load-time ``backend`` choice for a segment store.
+
+    ``backend`` is ``"inproc"`` (decode in this process, thread
+    fan-out), ``"process"`` (spawn one worker per shard, each
+    cold-starting its own chain via ``SegmentStore.load_shard``), or an
+    already-built :class:`~repro.cluster.ShardBackend` /
+    :class:`~repro.cluster.ReplicaRouter` instance, returned as-is.
+    Shared by the lexical and vector restore paths.
+    """
+    if not isinstance(backend, str):
+        if backend.tier != tier:
+            raise ValueError(
+                f"backend serves tier {backend.tier!r}, expected {tier!r}"
+            )
+        return backend
+    if backend == "process":
+        return ProcessBackend(tier, store_root=root, timeout=timeout)
+    if backend != "inproc":
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'inproc', 'process', "
+            "or a ShardBackend instance"
+        )
+    import numpy as np
+
+    from repro.store import SegmentCorruptError, SegmentStore
+
+    indexes = SegmentStore(root, tier).load()
+    for shard_id, index in enumerate(indexes):
+        live_ids = index._docs if tier == "lexical" else index._vectors
+        ids = np.fromiter(live_ids, dtype=np.int64, count=len(live_ids))
+        if ids.size and np.any(ids % len(indexes) != shard_id):
+            raise SegmentCorruptError(
+                f"shard {shard_id} holds documents routed to another shard"
+            )
+    return InprocBackend(tier, indexes=indexes, parallel=parallel)
+
+
 @dataclass
 class ShardedOutcome:
     """Global top-k plus per-shard accounting for one fan-out search."""
@@ -78,26 +127,33 @@ class ShardedOutcome:
         return len(self.doc_ids)
 
 
-class _Shard:
-    """One single-writer partition: an index plus its mutex."""
-
-    __slots__ = ("index", "lock")
-
-    def __init__(self):
-        self.index = InvertedIndex()
-        self.lock = threading.Lock()
-
-
 class ShardedIndex:
     """Documents partitioned over N single-writer inverted-index shards."""
 
-    def __init__(self, num_shards: int = 4, *, parallel: bool = True):
-        if num_shards < 1:
-            raise ValueError("num_shards must be >= 1")
-        self.num_shards = num_shards
-        self.parallel = parallel and num_shards > 1
-        self._shards = [_Shard() for _ in range(num_shards)]
-        self._executor: ThreadPoolExecutor | None = None
+    def __init__(
+        self,
+        num_shards: int = 4,
+        *,
+        parallel: bool = True,
+        backend: ShardBackend | None = None,
+    ):
+        """Fresh thread-backed shards by default; ``backend`` injects any
+        pre-built deployment (a loaded :class:`~repro.cluster.
+        ProcessBackend`, a :class:`~repro.cluster.ReplicaRouter`, ...) —
+        global statistics are then rebuilt from the backend's shards."""
+        if backend is None:
+            if num_shards < 1:
+                raise ValueError("num_shards must be >= 1")
+            backend = InprocBackend(
+                "lexical", num_shards=num_shards, parallel=parallel
+            )
+        elif backend.tier != "lexical":
+            raise ValueError(
+                f"backend serves tier {backend.tier!r}, expected 'lexical'"
+            )
+        self._backend = backend
+        self.num_shards = backend.num_shards
+        self.parallel = getattr(backend, "parallel", True)
         # Global corpus statistics are maintained incrementally on every
         # write (O(distinct tokens of the doc)), so interleaved churn and
         # search never pays a full-vocabulary rescan.
@@ -105,6 +161,26 @@ class ShardedIndex:
         self._num_docs = 0
         self._total_length = 0
         self._dfs: dict[str, int] = {}
+        self._seed_stats()
+
+    def _seed_stats(self) -> None:
+        """Rebuild global statistics as exact integer sums over shards.
+
+        One fan-out at construction; zero-cost for fresh empty shards,
+        and after a cold start it reproduces the same integers the live
+        index held, keeping BM25 bit-identical across restore/replica
+        boundaries.
+        """
+        for num_docs, total_length, dfs in self._backend.fanout("stats_raw"):
+            self._num_docs += num_docs
+            self._total_length += total_length
+            for token, count in dfs.items():
+                self._dfs[token] = self._dfs.get(token, 0) + count
+
+    @property
+    def backend(self) -> ShardBackend:
+        """The shard backend this index routes through."""
+        return self._backend
 
     # -- partitioning ---------------------------------------------------------
     def shard_of(self, doc_id: int) -> int:
@@ -113,25 +189,23 @@ class ShardedIndex:
 
     def shard_sizes(self) -> list[int]:
         """Live document count per shard."""
-        return [len(shard.index) for shard in self._shards]
+        return self._backend.fanout("shard_size")
 
     def __len__(self) -> int:
         return sum(self.shard_sizes())
 
     def __contains__(self, doc_id: int) -> bool:
-        return doc_id in self._shards[self.shard_of(doc_id)].index
+        return self._backend.call(self.shard_of(doc_id), "contains", doc_id)
 
     # -- incremental maintenance ----------------------------------------------
     def add_document(self, doc_id: int, tokens: list[str] | tuple[str, ...]) -> None:
-        """Index one document in its owning shard (shard mutex only).
+        """Index one document in its owning shard (that shard only).
 
         Global corpus statistics update under their own lock — O(distinct
         tokens), never a full-vocabulary rescan.
         """
         tokens = tuple(tokens)
-        shard = self._shards[self.shard_of(doc_id)]
-        with shard.lock:
-            shard.index.add_document(doc_id, tokens)
+        self._backend.call(self.shard_of(doc_id), "add", doc_id, tokens)
         with self._stats_lock:
             self._num_docs += 1
             self._total_length += len(tokens)
@@ -140,10 +214,7 @@ class ShardedIndex:
 
     def remove_document(self, doc_id: int) -> None:
         """Unindex one document from its owning shard, inverse of add."""
-        shard = self._shards[self.shard_of(doc_id)]
-        with shard.lock:
-            tokens = shard.index.document(doc_id)
-            shard.index.remove_document(doc_id)
+        tokens = self._backend.call(self.shard_of(doc_id), "remove", doc_id)
         with self._stats_lock:
             self._num_docs -= 1
             self._total_length -= len(tokens)
@@ -156,7 +227,7 @@ class ShardedIndex:
 
     def document(self, doc_id: int) -> tuple[str, ...]:
         """The indexed token tuple of ``doc_id`` (KeyError if absent)."""
-        return self._shards[self.shard_of(doc_id)].index.document(doc_id)
+        return self._backend.call(self.shard_of(doc_id), "doc", doc_id)
 
     def document_ids(self) -> list[int]:
         """Sorted ids of every live document across all shards.
@@ -165,9 +236,8 @@ class ShardedIndex:
         only ever hold ids from its tenant's id space, churn included.
         """
         ids: list[int] = []
-        for shard in self._shards:
-            with shard.lock:
-                ids.extend(shard.index.document_ids())
+        for shard_ids in self._backend.fanout("doc_ids"):
+            ids.extend(shard_ids)
         return sorted(ids)
 
     def stats(self) -> IndexStats:
@@ -188,54 +258,72 @@ class ShardedIndex:
                 document_frequencies=self._dfs,
             )
 
+    def _query_stats(self, queries: list[list[str]]) -> IndexStats:
+        """Global statistics pruned to the query's own tokens.
+
+        The ranker protocol only consults ``document_frequency`` for the
+        tokens it ranks, so this view scores identically to the full
+        table while costing O(query tokens) to build and to pickle —
+        what makes shipping the pinned ranker to a worker process cheap
+        AND bit-identical.
+        """
+        tokens: set[str] = set()
+        for query in queries:
+            tokens.update(query)
+        with self._stats_lock:
+            return IndexStats(
+                num_docs=self._num_docs,
+                avg_doc_length=(
+                    self._total_length / self._num_docs if self._num_docs else 0.0
+                ),
+                document_frequencies={
+                    token: self._dfs[token] for token in tokens if token in self._dfs
+                },
+            )
+
     # -- persistence -----------------------------------------------------------
     def save(self, root):
         """Persist every shard into a ``"lexical"`` segment store at ``root``.
 
-        Holds all shard mutexes for the snapshot (single-writer
-        discipline: quiesce churn for the duration).  Incremental after
-        the first save: unchanged shards write nothing, churned shards
-        append a delta segment, heavily churned shards rewrite their
-        base.  Returns the new :class:`~repro.store.Manifest`.
+        Quiesces the backend for the snapshot (in-process: all shard
+        mutexes held; worker processes: consistent pickled copies).
+        Incremental after the first save: unchanged shards write
+        nothing, churned shards append a delta segment, heavily churned
+        shards rewrite their base.  Returns the new
+        :class:`~repro.store.Manifest`.
         """
-        import contextlib
-
         from repro.store import SegmentStore
 
         store = SegmentStore(root, "lexical")
-        with contextlib.ExitStack() as stack:
-            for shard in self._shards:
-                stack.enter_context(shard.lock)
-            return store.save([shard.index for shard in self._shards])
+        with self._backend.quiesce() as indexes:
+            return store.save(indexes)
 
     @classmethod
-    def load(cls, root, *, parallel: bool = True) -> "ShardedIndex":
+    def load(
+        cls,
+        root,
+        *,
+        parallel: bool = True,
+        backend: str | ShardBackend = "inproc",
+        timeout: float | None = None,
+    ) -> "ShardedIndex":
         """Restore a sharded index saved by :meth:`save`.
 
-        The shard count comes from the store.  Global corpus statistics
-        are rebuilt as exact integer sums over the decoded shards, so
-        BM25 scores after a reload are bit-identical to the live index
-        the store was saved from.  Routing is re-validated; every
-        checksum failure raises a typed :class:`~repro.store.StoreError`.
+        The shard count comes from the store.  ``backend`` picks the
+        deployment: ``"inproc"`` decodes every shard in this process
+        (thread fan-out, the default), ``"process"`` spawns one worker
+        per shard that cold-starts its own chain (``timeout`` bounds
+        each RPC).  Global corpus statistics are rebuilt as exact
+        integer sums over the decoded shards, so BM25 scores after a
+        reload are bit-identical to the live index the store was saved
+        from.  Routing is re-validated; every checksum failure raises a
+        typed :class:`~repro.store.StoreError`.
         """
-        import numpy as np
-
-        from repro.store import SegmentCorruptError, SegmentStore
-
-        indexes = SegmentStore(root, "lexical").load()
-        sharded = cls(len(indexes), parallel=parallel)
-        for shard_id, (shard, index) in enumerate(zip(sharded._shards, indexes)):
-            ids = np.fromiter(index._docs, dtype=np.int64, count=len(index._docs))
-            if ids.size and np.any(ids % len(indexes) != shard_id):
-                raise SegmentCorruptError(
-                    f"shard {shard_id} holds documents routed to another shard"
-                )
-            shard.index = index
-            sharded._num_docs += len(index)
-            sharded._total_length += index.total_doc_length
-            for token, postings in index._postings.items():
-                sharded._dfs[token] = sharded._dfs.get(token, 0) + len(postings)
-        return sharded
+        return cls(
+            backend=resolve_backend(
+                "lexical", backend, root, parallel=parallel, timeout=timeout
+            )
+        )
 
     # -- fan-out search --------------------------------------------------------
     def search(
@@ -250,7 +338,9 @@ class ShardedIndex:
         queries = [q for q in queries if q]
         if not queries:
             raise ValueError("sharded search received no non-empty query")
-        ranker = (ranker or make_ranker("bm25")).with_stats(self.stats())
+        ranker = (ranker or make_ranker("bm25")).with_stats(
+            self._query_stats(queries)
+        )
 
         if merge_trees:
             trees = [merge_queries(queries)]
@@ -259,26 +349,9 @@ class ShardedIndex:
         nodes = sum(tree_size(t) for t in trees)
         query_tokens = list(queries[0])
 
-        def search_shard(shard: _Shard) -> tuple[list[tuple[float, int]], int, int]:
-            # Hold the shard mutex for the local evaluation so a concurrent
-            # writer to this shard can never expose a half-applied update.
-            with shard.lock:
-                index = shard.index
-                branches = []
-                cost = 0
-                for tree in trees:
-                    docs, tree_cost = tree.evaluate_postings(index)
-                    branches.append(docs)
-                    cost += tree_cost
-                candidates = union_sorted(branches)
-                top = ranker.rank_scored(index, query_tokens, candidates, k)
-            return top, cost, int(candidates.size)
-
-        if self.parallel:
-            executor = self._ensure_executor()
-            shard_results = list(executor.map(search_shard, self._shards))
-        else:
-            shard_results = [search_shard(shard) for shard in self._shards]
+        shard_results = self._backend.fanout(
+            "search", trees, query_tokens, ranker, k
+        )
 
         # Global top-k: k-way merge of the per-shard bounded heaps.
         merged = merge_topk([top for top, _, _ in shard_results], k)
@@ -291,18 +364,14 @@ class ShardedIndex:
             tree_nodes=nodes,
         )
 
-    def _ensure_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.num_shards, thread_name_prefix="shard-search"
-            )
-        return self._executor
+    # -- deployment reporting --------------------------------------------------
+    def cluster_stats(self) -> dict:
+        """Backend choice + failover counters (see ``ServingStats``)."""
+        return dict(self._backend.describe())
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Release the backend (threads or worker processes; idempotent)."""
+        self._backend.close()
 
     def __enter__(self) -> "ShardedIndex":
         return self
@@ -357,21 +426,26 @@ class ShardedSearchEngine:
         *,
         parallel: bool = True,
         ranker: Ranker | None = None,
+        backend: str | ShardBackend = "inproc",
+        timeout: float | None = None,
     ) -> "ShardedSearchEngine":
         """Cold-start an engine from a segment store instead of the catalog.
 
         Restores the sharded index from ``root`` (checksums verified,
         global statistics rebuilt exactly) and wraps it with the given
         catalog and config — O(store size), without re-tokenizing or
-        re-adding a single product.  The catalog is only consulted for
-        future churn, so it may legitimately differ from the persisted
-        document set until the caller reconciles them.
+        re-adding a single product.  ``backend`` picks the deployment
+        (see :meth:`ShardedIndex.load`).  The catalog is only consulted
+        for future churn, so it may legitimately differ from the
+        persisted document set until the caller reconciles them.
         """
         return cls(
             catalog,
             config,
             ranker=ranker,
-            index=ShardedIndex.load(root, parallel=parallel),
+            index=ShardedIndex.load(
+                root, parallel=parallel, backend=backend, timeout=timeout
+            ),
         )
 
     def add_document(self, doc_id: int, tokens) -> None:
@@ -430,6 +504,10 @@ class ShardedSearchEngine:
             scores=outcome.scores,
         )
 
+    def cluster_stats(self) -> dict:
+        """Backend choice + failover counters of the underlying index."""
+        return self.index.cluster_stats()
+
     def close(self) -> None:
-        """Shut down the underlying sharded index's thread pool."""
+        """Release the underlying index's backend."""
         self.index.close()

@@ -40,20 +40,20 @@ deterministic.
 
 Thread safety: a :class:`VectorIndex` is single-writer — interleave
 writes and searches only under external locking.
-:class:`ShardedVectorIndex` provides exactly that: per-shard mutexes,
-single-writer shards, parallel fan-out search (the same discipline as
-:class:`~repro.search.sharded.ShardedIndex`).
+:class:`ShardedVectorIndex` provides exactly that through a pluggable
+:class:`~repro.cluster.ShardBackend` (the same discipline as
+:class:`~repro.search.sharded.ShardedIndex`): single-writer shards
+behind per-shard mutexes in-process, or one worker process per shard
+over pipes, with identical probe results either way.
 """
 
 from __future__ import annotations
 
-import threading
-from concurrent.futures import ThreadPoolExecutor
-
 import numpy as np
 
+from repro.cluster import InprocBackend, ShardBackend
 from repro.search.ranking import top_k_by_score
-from repro.search.sharded import merge_topk
+from repro.search.sharded import merge_topk, resolve_backend
 
 
 def spherical_kmeans(
@@ -362,29 +362,19 @@ class VectorIndex:
         return top_k_by_score(ids, matrix @ query, k)
 
 
-class _VectorShard:
-    """One single-writer partition: a vector index plus its mutex."""
-
-    __slots__ = ("index", "lock")
-
-    def __init__(self, dim: int, num_clusters: int, nprobe: int, seed: int):
-        self.index = VectorIndex(
-            dim, num_clusters=num_clusters, nprobe=nprobe, seed=seed
-        )
-        self.lock = threading.Lock()
-
-
 class ShardedVectorIndex:
     """Vectors partitioned over N single-writer :class:`VectorIndex` shards.
 
     The same fan-out/merge discipline as the lexical
     :class:`~repro.search.sharded.ShardedIndex`: routing is
-    ``doc_id % num_shards`` (stable, no routing table), writers lock only
-    the owning shard, a search takes each shard's mutex for that shard's
-    local probe, and the per-shard ``(score, doc_id)`` lists merge through
-    the shared :func:`~repro.search.sharded.merge_topk`.  Because scores
-    are exact dot products — no per-shard statistics — the merged top-k
-    at full probe width equals an unsharded exact search.
+    ``doc_id % num_shards`` (stable, no routing table), shard state
+    lives behind a pluggable :class:`~repro.cluster.ShardBackend`
+    (threads in-process by default, worker processes or a replica
+    router by injection), and the per-shard ``(score, doc_id)`` lists
+    merge through the shared :func:`~repro.search.sharded.merge_topk`.
+    Because scores are exact dot products — no per-shard statistics —
+    the merged top-k at full probe width equals an unsharded exact
+    search, on every backend.
     """
 
     def __init__(
@@ -396,17 +386,34 @@ class ShardedVectorIndex:
         nprobe: int = 4,
         parallel: bool = True,
         seed: int = 0,
+        backend: ShardBackend | None = None,
     ):
-        if num_shards < 1:
-            raise ValueError("num_shards must be >= 1")
+        """Fresh thread-backed shards by default (shard ``i`` seeds its
+        k-means at ``seed + i``); ``backend`` injects any pre-built
+        deployment and must match ``dim``."""
+        if backend is None:
+            if num_shards < 1:
+                raise ValueError("num_shards must be >= 1")
+            indexes = [
+                VectorIndex(
+                    dim, num_clusters=num_clusters, nprobe=nprobe, seed=seed + i
+                )
+                for i in range(num_shards)
+            ]
+            backend = InprocBackend("vector", indexes=indexes, parallel=parallel)
+        elif backend.tier != "vector":
+            raise ValueError(
+                f"backend serves tier {backend.tier!r}, expected 'vector'"
+            )
         self.dim = dim
-        self.num_shards = num_shards
-        self.parallel = parallel and num_shards > 1
-        self._shards = [
-            _VectorShard(dim, num_clusters, nprobe, seed + i)
-            for i in range(num_shards)
-        ]
-        self._executor: ThreadPoolExecutor | None = None
+        self._backend = backend
+        self.num_shards = backend.num_shards
+        self.parallel = getattr(backend, "parallel", True)
+
+    @property
+    def backend(self) -> ShardBackend:
+        """The shard backend this index routes through."""
+        return self._backend
 
     # -- partitioning ---------------------------------------------------------
     def shard_of(self, doc_id: int) -> int:
@@ -415,13 +422,13 @@ class ShardedVectorIndex:
 
     def shard_sizes(self) -> list[int]:
         """Live document count per shard."""
-        return [len(shard.index) for shard in self._shards]
+        return self._backend.fanout("shard_size")
 
     def __len__(self) -> int:
         return sum(self.shard_sizes())
 
     def __contains__(self, doc_id: int) -> bool:
-        return doc_id in self._shards[self.shard_of(doc_id)].index
+        return self._backend.call(self.shard_of(doc_id), "contains", doc_id)
 
     # -- incremental maintenance ----------------------------------------------
     def fit(self, doc_ids, vectors: np.ndarray) -> None:
@@ -434,106 +441,86 @@ class ShardedVectorIndex:
         for at, doc_id in enumerate(doc_ids):
             by_shard.setdefault(self.shard_of(doc_id), []).append(at)
         for shard_id, rows in by_shard.items():
-            shard = self._shards[shard_id]
-            with shard.lock:
-                shard.index.fit(
-                    [doc_ids[r] for r in rows], vectors[np.asarray(rows)]
-                )
+            self._backend.call(
+                shard_id,
+                "fit",
+                [doc_ids[r] for r in rows],
+                vectors[np.asarray(rows)],
+            )
 
     def add_document(self, doc_id: int, vector: np.ndarray) -> None:
-        """Insert into the owning shard under its mutex."""
-        shard = self._shards[self.shard_of(doc_id)]
-        with shard.lock:
-            shard.index.add_document(doc_id, vector)
+        """Insert into the owning shard (single-writer discipline)."""
+        self._backend.call(self.shard_of(doc_id), "add", doc_id, vector)
 
     def remove_document(self, doc_id: int) -> None:
-        """Delete from the owning shard under its mutex."""
-        shard = self._shards[self.shard_of(doc_id)]
-        with shard.lock:
-            shard.index.remove_document(doc_id)
+        """Delete from the owning shard (single-writer discipline)."""
+        self._backend.call(self.shard_of(doc_id), "remove", doc_id)
 
     # -- persistence -----------------------------------------------------------
     def save(self, root):
         """Persist every shard into a ``"vector"`` segment store at ``root``.
 
-        Holds all shard mutexes for the snapshot (single-writer
-        discipline: quiesce churn for the duration).  Incremental: after
-        the first save, only changed shards get a delta segment — unless
-        a shard was re-fit, which forces a full rewrite of that shard.
-        Returns the new :class:`~repro.store.Manifest`.
+        Quiesces the backend for the snapshot (single-writer
+        discipline: churn excluded for the duration).  Incremental:
+        after the first save, only changed shards get a delta segment —
+        unless a shard was re-fit, which forces a full rewrite of that
+        shard.  Returns the new :class:`~repro.store.Manifest`.
         """
-        import contextlib
-
         from repro.store import SegmentStore
 
         store = SegmentStore(root, "vector")
-        with contextlib.ExitStack() as stack:
-            for shard in self._shards:
-                stack.enter_context(shard.lock)
-            return store.save(
-                [shard.index for shard in self._shards], meta={"dim": self.dim}
-            )
+        with self._backend.quiesce() as indexes:
+            return store.save(indexes, meta={"dim": self.dim})
 
     @classmethod
-    def load(cls, root, *, parallel: bool = True) -> "ShardedVectorIndex":
+    def load(
+        cls,
+        root,
+        *,
+        parallel: bool = True,
+        backend: str | ShardBackend = "inproc",
+        timeout: float | None = None,
+    ) -> "ShardedVectorIndex":
         """Restore a sharded vector index saved by :meth:`save`.
 
-        Shard count and per-shard geometry come from the store; only the
-        ``parallel`` execution knob is the caller's.  Every segment is
-        checksum-verified; routing (``doc_id % num_shards``) is
+        Shard count and per-shard geometry come from the store;
+        ``backend`` picks the deployment (``"inproc"`` decodes here,
+        ``"process"`` cold-starts one worker per shard — see
+        :meth:`~repro.search.sharded.ShardedIndex.load`).  Every segment
+        is checksum-verified; routing (``doc_id % num_shards``) is
         re-validated against the decoded shards.
         """
-        from repro.store import SegmentStore, SegmentCorruptError
+        from repro.store import SegmentCorruptError
 
-        indexes = SegmentStore(root, "vector").load()
-        dims = {index.dim for index in indexes}
-        if len(dims) != 1:
-            raise SegmentCorruptError(f"shards disagree on vector dim: {sorted(dims)}")
-        sharded = cls(
-            indexes[0].dim,
-            num_shards=len(indexes),
-            parallel=parallel,
-            seed=indexes[0].seed,
+        resolved = resolve_backend(
+            "vector", backend, root, parallel=parallel, timeout=timeout
         )
-        for shard_id, (shard, index) in enumerate(zip(sharded._shards, indexes)):
-            ids = np.fromiter(
-                index._vectors, dtype=np.int64, count=len(index._vectors)
+        metas = resolved.fanout("meta")
+        dims = {meta["dim"] for meta in metas}
+        if len(dims) != 1:
+            resolved.close()
+            raise SegmentCorruptError(
+                f"shards disagree on vector dim: {sorted(dims)}"
             )
-            if ids.size and np.any(ids % len(indexes) != shard_id):
-                raise SegmentCorruptError(
-                    f"shard {shard_id} holds documents routed to another shard"
-                )
-            shard.index = index
-        return sharded
+        return cls(metas[0]["dim"], backend=resolved)
 
     # -- fan-out search --------------------------------------------------------
     def search(
         self, query: np.ndarray, k: int, *, nprobe: int | None = None
     ) -> list[tuple[float, int]]:
         """Probe every shard (in parallel) and merge the per-shard top-k."""
-        def search_shard(shard: _VectorShard) -> list[tuple[float, int]]:
-            with shard.lock:
-                return shard.index.search(query, k, nprobe=nprobe)
-
-        if self.parallel:
-            executor = self._ensure_executor()
-            per_shard = list(executor.map(search_shard, self._shards))
-        else:
-            per_shard = [search_shard(shard) for shard in self._shards]
+        query = np.asarray(query, dtype=np.float64)
+        per_shard = self._backend.fanout("search", query, k, nprobe)
         return merge_topk(per_shard, k)
 
-    def _ensure_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.num_shards, thread_name_prefix="vector-search"
-            )
-        return self._executor
+    # -- deployment reporting --------------------------------------------------
+    def cluster_stats(self) -> dict:
+        """Backend choice + failover counters (see ``ServingStats``)."""
+        return dict(self._backend.describe())
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Release the backend (threads or worker processes; idempotent)."""
+        self._backend.close()
 
     def __enter__(self) -> "ShardedVectorIndex":
         return self

@@ -295,41 +295,69 @@ class SegmentStore:
         """
         return self._load_indexes(self.manifest())
 
+    def load_shard(self, shard_id: int):
+        """Reconstruct ONE shard's index from its base+delta chain.
+
+        The worker cold-start path: a shard worker process restores only
+        its own partition — O(shard) decode instead of O(store) — with
+        the same verification as :meth:`load` plus a routing check
+        (``doc_id % num_shards == shard_id``), so a mislabeled or
+        misrouted chain fails the boot instead of silently serving
+        another shard's documents.
+        """
+        manifest = self.manifest()
+        if not 0 <= shard_id < manifest.num_shards:
+            raise ManifestError(
+                f"shard {shard_id} out of range for a "
+                f"{manifest.num_shards}-shard store"
+            )
+        index = self._load_shard(manifest, shard_id)
+        live_ids = index._docs if self.tier == "lexical" else index._vectors
+        ids = np.fromiter(live_ids, dtype=np.int64, count=len(live_ids))
+        if ids.size and np.any(ids % manifest.num_shards != shard_id):
+            raise SegmentCorruptError(
+                f"shard {shard_id} holds documents routed to another shard"
+            )
+        return index
+
     def _load_indexes(self, manifest: Manifest) -> list:
-        indexes = []
-        for shard_id in range(manifest.num_shards):
-            chain = manifest.chain_for_shard(shard_id)
-            base, deltas = chain[0], chain[1:]
-            data = read_segment_file(self.root / base.name)
+        return [
+            self._load_shard(manifest, shard_id)
+            for shard_id in range(manifest.num_shards)
+        ]
+
+    def _load_shard(self, manifest: Manifest, shard_id: int):
+        chain = manifest.chain_for_shard(shard_id)
+        base, deltas = chain[0], chain[1:]
+        data = read_segment_file(self.root / base.name)
+        if self.tier == "lexical":
+            index = codecs.decode_postings_segment(
+                data, expected_crc=base.checksum
+            )
+            live_ids = index._docs
+        else:
+            index = codecs.decode_vectors_segment(
+                data, expected_crc=base.checksum
+            )
+            live_ids = index._vectors
+        self._check_ref(base, len(index), _id_range(live_ids))
+        for ref in deltas:
+            data = read_segment_file(self.root / ref.name)
             if self.tier == "lexical":
-                index = codecs.decode_postings_segment(
-                    data, expected_crc=base.checksum
+                docs, removed = codecs.decode_postings_delta(
+                    data, expected_crc=ref.checksum
                 )
-                live_ids = index._docs
+                touched = list(docs) + removed
+                self._check_ref(ref, len(docs), _id_range(touched), removed=len(removed))
+                codecs.apply_postings_delta(index, data, expected_crc=ref.checksum)
             else:
-                index = codecs.decode_vectors_segment(
-                    data, expected_crc=base.checksum
+                added, vectors, removed = codecs.decode_vectors_delta(
+                    data, expected_crc=ref.checksum
                 )
-                live_ids = index._vectors
-            self._check_ref(base, len(index), _id_range(live_ids))
-            for ref in deltas:
-                data = read_segment_file(self.root / ref.name)
-                if self.tier == "lexical":
-                    docs, removed = codecs.decode_postings_delta(
-                        data, expected_crc=ref.checksum
-                    )
-                    touched = list(docs) + removed
-                    self._check_ref(ref, len(docs), _id_range(touched), removed=len(removed))
-                    codecs.apply_postings_delta(index, data, expected_crc=ref.checksum)
-                else:
-                    added, vectors, removed = codecs.decode_vectors_delta(
-                        data, expected_crc=ref.checksum
-                    )
-                    touched = added + removed
-                    self._check_ref(ref, len(added), _id_range(touched), removed=len(removed))
-                    codecs.apply_vectors_delta(index, data, expected_crc=ref.checksum)
-            indexes.append(index)
-        return indexes
+                touched = added + removed
+                self._check_ref(ref, len(added), _id_range(touched), removed=len(removed))
+                codecs.apply_vectors_delta(index, data, expected_crc=ref.checksum)
+        return index
 
     @staticmethod
     def _check_ref(ref: SegmentRef, doc_count: int, id_range, *, removed: int = 0) -> None:
@@ -376,6 +404,41 @@ class SegmentStore:
         for path in self.root.glob("*.seg"):
             if path.name not in keep:
                 path.unlink()
+        return manifest
+
+    # -- snapshot shipping ---------------------------------------------------
+    def ship_snapshot(self, dest) -> Manifest:
+        """Copy the current manifest + referenced segments to ``dest``.
+
+        The replica hand-off path: the router ships a self-contained
+        store directory to a respawning worker, which then cold-starts
+        via :meth:`load_shard` at the *same generation* the survivors
+        serve — that generation equality is what makes post-failover
+        results identical.  Every segment's payload checksum is
+        re-verified as it is copied (a snapshot taken from a corrupt
+        store must fail loudly here, not at the respawned worker), and
+        the manifest is written last so a torn ship never looks
+        complete.  ``dest`` must not already contain a store.
+        """
+        manifest = self.manifest()
+        dest = Path(dest)
+        if (dest / MANIFEST_NAME).exists():
+            raise ManifestError(
+                f"refusing to ship a snapshot into an existing store at {dest}"
+            )
+        dest.mkdir(parents=True, exist_ok=True)
+        for ref in manifest.segments:
+            data = read_segment_file(self.root / ref.name)
+            _, sections = unpack_segment(data)
+            if payload_checksum(sections) != ref.checksum:
+                raise SegmentCorruptError(
+                    f"segment {ref.name!r} fails its manifest checksum; "
+                    "refusing to ship a corrupt snapshot"
+                )
+            (dest / ref.name).write_bytes(data)
+        tmp = dest / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(manifest.to_json(), encoding="utf-8")
+        os.replace(tmp, dest / MANIFEST_NAME)
         return manifest
 
     # -- reporting -----------------------------------------------------------

@@ -17,7 +17,13 @@ import importlib
 import inspect
 import pkgutil
 
-PACKAGES = ("repro.search", "repro.embedding", "repro.online", "repro.store")
+PACKAGES = (
+    "repro.search",
+    "repro.embedding",
+    "repro.online",
+    "repro.store",
+    "repro.cluster",
+)
 
 
 def _iter_modules():

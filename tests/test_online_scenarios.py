@@ -29,7 +29,7 @@ SMOKE = ScenarioConfig().scaled(0.04)
 
 
 class TestRegistry:
-    def test_registry_holds_the_six_arms(self):
+    def test_registry_holds_the_seven_arms(self):
         assert set(SCENARIOS) == {
             "multi_tenant",
             "hot_key_storm",
@@ -37,6 +37,7 @@ class TestRegistry:
             "cold_restart",
             "cold_restart_persistent",
             "vocab_drift",
+            "shard_failover",
         }
 
     def test_registry_keys_match_scenario_names(self):

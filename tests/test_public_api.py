@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.online",
     "repro.store",
+    "repro.cluster",
 ]
 
 
@@ -83,6 +84,43 @@ def test_scenario_library_surface():
     ):
         assert symbol in online.__all__, symbol
         assert hasattr(online, symbol), symbol
+
+
+def test_cluster_surface():
+    """The shard-backend tier is part of repro.cluster's public contract."""
+    from repro import cluster
+
+    for symbol in (
+        "ShardBackend",
+        "InprocBackend",
+        "ProcessBackend",
+        "ReplicaRouter",
+        "LazyExecutor",
+        "clamp_workers",
+        "OPS",
+        "MUTATING_OPS",
+        "ClusterError",
+        "ShardUnavailableError",
+        "ShardTimeoutError",
+        "ShardWorkerError",
+        "NoHealthyReplicaError",
+    ):
+        assert symbol in cluster.__all__, symbol
+        assert hasattr(cluster, symbol), symbol
+
+    # The typed failure taxonomy the failover contract promises: only
+    # the unavailable family (timeouts included) triggers rerouting.
+    assert issubclass(cluster.ShardUnavailableError, cluster.ClusterError)
+    assert issubclass(cluster.ShardTimeoutError, cluster.ShardUnavailableError)
+    assert issubclass(cluster.ShardWorkerError, cluster.ClusterError)
+    assert not issubclass(cluster.ShardWorkerError, cluster.ShardUnavailableError)
+    assert issubclass(cluster.NoHealthyReplicaError, cluster.ClusterError)
+
+    # Both deployment backends satisfy the backend contract.
+    for cls in (cluster.InprocBackend, cluster.ProcessBackend):
+        assert issubclass(cls, cluster.ShardBackend)
+        for verb in ("call", "fanout", "quiesce", "close", "kill", "describe"):
+            assert callable(getattr(cls, verb)), (cls.__name__, verb)
 
 
 def test_store_surface():

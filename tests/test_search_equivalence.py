@@ -12,6 +12,14 @@ Two families of invariants the serving tier leans on:
   fusion) is a pure function of the corpus and the query: repeated
   searches, and searches through independently built engines, produce
   identical outcomes in every mode.
+* **Backend transparency** — a :class:`~repro.cluster.ProcessBackend`
+  (one worker process per shard, RPC over pipes) returns *identical*
+  ``(doc_id, score)`` lists to the in-process thread backend at every
+  shard count, for lexical, vector, and hybrid retrieval, under
+  interleaved churn.  Both backends execute the same
+  :mod:`repro.cluster.ops` handlers, and these tests pin that the pipe
+  round trip (pickled trees, rankers, pruned statistics, float scores)
+  never perturbs a single bit.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ import numpy as np
 import pytest
 
 from repro.data.catalog import CATEGORY_SPECS, CatalogConfig, CatalogGenerator
+from repro.data.clicklog import ClickLogConfig
+from repro.data.marketplace import MarketplaceConfig, generate_marketplace
 from repro.embedding import DualEncoder, DualEncoderConfig
 from repro.search import (
     HybridConfig,
@@ -27,6 +37,7 @@ from repro.search import (
     SearchConfig,
     SearchEngine,
     ShardedSearchEngine,
+    ShardedVectorIndex,
 )
 
 TOP_K = 15
@@ -127,6 +138,208 @@ def test_sharded_shard_sizes_follow_churn():
         assert len(engine.index) == before
     finally:
         engine.close()
+
+
+class TestProcessBackendEquivalence:
+    """Process shard workers vs in-process threads: identical, always.
+
+    Each test saves a seed corpus to a segment store, restores it twice
+    — once per backend — and drives both restored engines through the
+    same interleaved churn + search stream, asserting every ``(doc_id,
+    score)`` list matches bit for bit.
+    """
+
+    CHURN_STEPS = 24
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    @pytest.mark.parametrize("ranker", ["bm25", "overlap"])
+    def test_lexical_process_equals_inproc_under_churn(
+        self, tmp_path, num_shards, ranker
+    ):
+        generator = CatalogGenerator(CatalogConfig(products_per_category=4, seed=11))
+        config = SearchConfig(max_candidates=TOP_K, ranker=ranker)
+        seed_engine = ShardedSearchEngine(
+            generator.generate(), config, num_shards=num_shards, parallel=False
+        )
+        seed_engine.save(tmp_path / "store")
+        seed_engine.close()
+        inproc = ShardedSearchEngine.load(
+            generator.generate(), tmp_path / "store", config, parallel=False
+        )
+        process = ShardedSearchEngine.load(
+            generator.generate(), tmp_path / "store", config, backend="process"
+        )
+
+        rng = np.random.default_rng(200 + num_shards)
+        categories = sorted(CATEGORY_SPECS)
+        next_id = inproc.catalog.next_product_id()
+        compared = 0
+        try:
+            for step in range(self.CHURN_STEPS):
+                op = rng.random()
+                live = inproc.catalog.products
+                if op < 0.3:
+                    category = str(rng.choice(categories))
+                    product = generator.sample_product(category, next_id, rng)
+                    next_id += 1
+                    inproc.add_product(product)
+                    process.add_product(product)
+                elif op < 0.5 and len(live) > 5:
+                    victim = int(
+                        sorted(p.product_id for p in live)[
+                            int(rng.integers(0, len(live)))
+                        ]
+                    )
+                    inproc.remove_product(victim)
+                    process.remove_product(victim)
+                else:
+                    query = sample_query(rng, live)
+                    rewrites = (
+                        [sample_query(rng, live)] if rng.random() < 0.5 else []
+                    )
+                    expected = inproc.search(query, rewrites)
+                    got = process.search(query, rewrites)
+                    assert got.doc_ids == expected.doc_ids, (
+                        f"step {step}: the process backend changed the top-k "
+                        f"for {query!r} + {rewrites!r}"
+                    )
+                    assert got.scores == expected.scores
+                    compared += 1
+            assert compared >= self.CHURN_STEPS // 4
+        finally:
+            inproc.close()
+            process.close()
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    def test_vector_process_equals_inproc_under_churn(self, tmp_path, num_shards):
+        rng = np.random.default_rng(40 + num_shards)
+        dim = 12
+        doc_ids = list(range(48))
+        vectors = rng.normal(size=(48, dim))
+        built = ShardedVectorIndex(
+            dim, num_shards=num_shards, num_clusters=4, parallel=False, seed=0
+        )
+        built.fit(doc_ids, vectors)
+        built.save(tmp_path / "store")
+        built.close()
+        inproc = ShardedVectorIndex.load(tmp_path / "store", parallel=False)
+        process = ShardedVectorIndex.load(tmp_path / "store", backend="process")
+
+        live = list(doc_ids)
+        next_id = len(doc_ids)
+        compared = 0
+        try:
+            for step in range(self.CHURN_STEPS):
+                op = rng.random()
+                if op < 0.3:
+                    vector = rng.normal(size=dim)
+                    inproc.add_document(next_id, vector)
+                    process.add_document(next_id, vector)
+                    live.append(next_id)
+                    next_id += 1
+                elif op < 0.5 and len(live) > 8:
+                    victim = live.pop(int(rng.integers(0, len(live))))
+                    inproc.remove_document(victim)
+                    process.remove_document(victim)
+                else:
+                    query = rng.normal(size=dim)
+                    expected = inproc.search(query, k=10)
+                    got = process.search(query, k=10)
+                    assert got == expected, (
+                        f"step {step}: the process backend changed the ANN top-k"
+                    )
+                    compared += 1
+            assert compared >= self.CHURN_STEPS // 4
+            assert len(inproc) == len(process) == len(live)
+        finally:
+            inproc.close()
+            process.close()
+
+    def test_hybrid_process_equals_inproc_under_churn(self, tmp_path):
+        def market():
+            return generate_marketplace(
+                MarketplaceConfig(
+                    catalog=CatalogConfig(products_per_category=5),
+                    clicks=ClickLogConfig(num_sessions=200, intent_pool_size=40),
+                    seed=13,
+                )
+            )
+
+        def engines():
+            """Two identical markets → two engines over private catalogs."""
+            for m in (market(), market()):
+                yield m, DualEncoder(m.vocab, DualEncoderConfig(seed=0))
+
+        (seed_market, seed_encoder), (twin_market, twin_encoder) = engines()
+        config = SearchConfig(max_candidates=TOP_K, ranker="bm25")
+        hybrid_config = HybridConfig(fusion="rrf", alpha=0.6)
+        seed_engine = HybridSearchEngine(
+            seed_market.catalog,
+            seed_encoder,
+            config,
+            hybrid_config,
+            num_shards=2,
+            num_clusters=4,
+            parallel=False,
+            seed=0,
+        )
+        seed_engine.save(tmp_path / "store")
+        seed_engine.close()
+        inproc = HybridSearchEngine.load(
+            tmp_path / "store",
+            seed_market.catalog,
+            seed_encoder,
+            config,
+            hybrid_config,
+            parallel=False,
+        )
+        process = HybridSearchEngine.load(
+            tmp_path / "store",
+            twin_market.catalog,
+            twin_encoder,
+            config,
+            hybrid_config,
+            backend="process",
+        )
+
+        generator = CatalogGenerator(seed_market.config.catalog)
+        rng = np.random.default_rng(77)
+        categories = sorted(CATEGORY_SPECS)
+        next_id = seed_market.catalog.next_product_id()
+        compared = 0
+        try:
+            for step in range(self.CHURN_STEPS):
+                op = rng.random()
+                live = inproc.catalog.products
+                if op < 0.25:
+                    category = str(rng.choice(categories))
+                    product = generator.sample_product(category, next_id, rng)
+                    next_id += 1
+                    inproc.add_product(product)
+                    process.add_product(product)
+                elif op < 0.4 and len(live) > 5:
+                    victim = int(
+                        sorted(p.product_id for p in live)[
+                            int(rng.integers(0, len(live)))
+                        ]
+                    )
+                    inproc.remove_product(victim)
+                    process.remove_product(victim)
+                else:
+                    query = sample_query(rng, live)
+                    for mode in ("lexical", "semantic", "hybrid"):
+                        expected = inproc.search(query, mode=mode)
+                        got = process.search(query, mode=mode)
+                        assert got.doc_ids == expected.doc_ids, (
+                            f"step {step}: process backend changed {mode} "
+                            f"results for {query!r}"
+                        )
+                        assert got.scores == expected.scores
+                    compared += 1
+            assert compared >= self.CHURN_STEPS // 4
+        finally:
+            inproc.close()
+            process.close()
 
 
 class TestHybridFusionDeterminism:
