@@ -1,0 +1,208 @@
+"""Gateway soak — acceptance bars for the service front door.
+
+The ``gateway_soak`` experiment boots a real asyncio HTTP gateway on an
+ephemeral loopback port, replays a deterministic trace through it with
+concurrent socket clients, and twins the run in process on a virtual
+clock.  At acceptance scale every conformance bar must hold: per-tenant
+serving counters byte-identical across the two paths, zero HTTP 500s,
+schema-valid responses, and a drain receipt conserving every admitted
+request.  A mid-soak drain (driven directly here, not via the
+experiment) additionally pins the zero-loss property under interruption.
+"""
+
+import asyncio
+
+from repro.experiments import gateway_soak as gateway_soak_experiment
+from repro.gateway.soak import (
+    SoakConfig,
+    build_workload,
+    item_path,
+    item_payload,
+    run_gateway_arm,
+    run_soak,
+)
+
+
+def test_gateway_soak(benchmark, save_result, scale):
+    result = benchmark.pedantic(
+        gateway_soak_experiment.run, args=(scale,), rounds=1, iterations=1
+    )
+    save_result(result)
+    measured = result.measured
+
+    # The headline conformance claim: the socket path IS the replay model.
+    assert measured["socket_counters_byte_identical"] is True
+    assert measured["identical"] is True
+
+    # Error containment and schema discipline over the whole soak.
+    assert measured["http_500s"] == 0
+    assert measured["schema_failures"] == 0
+    assert measured["every_request_answered_200"] is True
+
+    # Conservation across the graceful drain: nothing admitted vanished.
+    assert measured["lost_requests"] == 0
+    receipt = measured["receipt"]
+    assert receipt["admitted"] == receipt["completed"] + receipt["shed"]
+    assert receipt["admitted"] == measured["requests"]
+
+    # The deterministic side of the outcome reruns byte-identically.
+    assert measured["deterministic"] is True
+    assert measured["all_passed"] is True
+
+
+def test_drain_mid_soak_loses_nothing(scale):
+    """Interrupt the soak with a drain at ~50%: conservation still exact.
+
+    Late requests race the drain and legitimately get 503 ``draining``;
+    what must never happen is an admitted request vanishing — the drain
+    receipt's ``admitted == completed + shed`` is checked against the
+    clients' own accounting of 200s received.
+    """
+    config = SoakConfig(
+        seed=scale.seed, num_requests=scale.scaled(240, 120), drain_at_end=False
+    )
+    items, _ = build_workload(config)
+
+    async def interrupted():
+        from repro.gateway.soak import MiniClient
+        from repro.gateway.app import Gateway, GatewayConfig
+        from repro.gateway.ratelimit import RateLimitConfig
+        from repro.gateway.soak import SOAK_SCHEDULER, build_tenant_pipeline
+        from repro.online.clock import WallClock
+
+        clock = WallClock()
+        pipelines = {
+            tenant: build_tenant_pipeline(config, index, clock.now)
+            for index, tenant in enumerate(config.tenants)
+        }
+        gateway_config = GatewayConfig(
+            scheduler=SOAK_SCHEDULER,
+            rate_limit=RateLimitConfig(rate_per_second=1e6, burst=1_000_000),
+        )
+        drain_after = len(items) // 2
+        served_200 = 0
+        draining_503 = 0
+        async with Gateway(pipelines, gateway_config, clock=clock) as gateway:
+            client = MiniClient(gateway.config.host, gateway.port)
+            drainer = MiniClient(gateway.config.host, gateway.port)
+            receipt = None
+            try:
+                for position, item in enumerate(items):
+                    if position == drain_after:
+                        _, _, receipt = await drainer.post("/v1/drain", {})
+                    status, _, _ = await client.post(
+                        item_path(item), item_payload(item)
+                    )
+                    if status == 200:
+                        served_200 += 1
+                    elif status == 503:
+                        draining_503 += 1
+                    else:  # pragma: no cover - would fail the assertions below
+                        raise AssertionError(f"unexpected status {status}")
+            finally:
+                await client.close()
+                await drainer.close()
+        return served_200, draining_503, receipt
+
+    served_200, draining_503, receipt = asyncio.run(interrupted())
+    # Everything before the drain was served; everything after got 503.
+    assert served_200 + draining_503 == len(items)
+    assert draining_503 > 0
+    # Zero loss: the receipt accounts for every admitted request, and the
+    # clients saw exactly as many 200s as the schedulers completed.
+    assert receipt["admitted"] == receipt["completed"] + receipt["shed"]
+    assert receipt["shed"] == 0
+    assert receipt["completed"] == served_200
+
+
+def test_concurrency_level_does_not_change_counters(scale):
+    """1 client vs 8 clients: identical deterministic counters.
+
+    The soak's byte-equality claim is only meaningful if the socket arm
+    is insensitive to interleaving; sweeping the client count is the
+    direct probe of that property.
+    """
+    base = SoakConfig(seed=scale.seed, num_requests=scale.scaled(240, 120))
+    items, _ = build_workload(base)
+    counters = []
+    for clients in (1, 8):
+        config = SoakConfig(
+            seed=base.seed, num_requests=base.num_requests, clients=clients
+        )
+        serving, by_status, schema_failures, _, _ = asyncio.run(
+            run_gateway_arm(config, items)
+        )
+        assert by_status == {"200": len(items)}
+        assert schema_failures == 0
+        counters.append(serving)
+    assert counters[0] == counters[1]
+
+
+def test_micro_batched_gateway_conserves_work(scale):
+    """B=8 with a real deadline trigger: conservation, not byte equality.
+
+    Micro-batching under wall-clock timing legitimately regroups
+    requests (so cache/model splits may differ from the twin); what must
+    hold is exact work conservation and zero error responses.
+    """
+    from repro.gateway.app import GatewayConfig
+    from repro.gateway.ratelimit import RateLimitConfig
+    from repro.online.scheduler import SchedulerConfig
+
+    config = SoakConfig(
+        seed=scale.seed, num_requests=scale.scaled(240, 120), drain_at_end=True
+    )
+    items, _ = build_workload(config)
+
+    async def batched():
+        from repro.gateway.app import Gateway
+        from repro.gateway.soak import MiniClient, build_tenant_pipeline
+        from repro.online.clock import WallClock
+
+        clock = WallClock()
+        pipelines = {
+            tenant: build_tenant_pipeline(config, index, clock.now)
+            for index, tenant in enumerate(config.tenants)
+        }
+        gateway_config = GatewayConfig(
+            scheduler=SchedulerConfig(
+                max_batch_size=8, max_wait_seconds=0.02, max_queue_depth=4096
+            ),
+            rate_limit=RateLimitConfig(rate_per_second=1e6, burst=1_000_000),
+            pump_interval_seconds=0.002,
+        )
+        async with Gateway(pipelines, gateway_config, clock=clock) as gateway:
+            lanes = [items[offset::4] for offset in range(4)]
+
+            async def drive(slice_items):
+                client = MiniClient(gateway.config.host, gateway.port)
+                statuses = []
+                try:
+                    for item in slice_items:
+                        status, _, _ = await client.post(
+                            item_path(item), item_payload(item)
+                        )
+                        statuses.append(status)
+                finally:
+                    await client.close()
+                return statuses
+
+            results = await asyncio.gather(*(drive(lane) for lane in lanes))
+            reader = MiniClient(gateway.config.host, gateway.port)
+            try:
+                _, _, receipt = await reader.post("/v1/drain", {})
+            finally:
+                await reader.close()
+        return [status for lane in results for status in lane], receipt
+
+    statuses, receipt = asyncio.run(batched())
+    assert all(status == 200 for status in statuses)
+    assert receipt["admitted"] == len(items)
+    assert receipt["admitted"] == receipt["completed"] + receipt["shed"]
+    assert receipt["shed"] == 0
+
+
+def test_soak_fingerprint_stable_across_runs(scale):
+    """Two full soak runs agree on the deterministic fingerprint."""
+    config = SoakConfig(seed=scale.seed, num_requests=scale.scaled(240, 120))
+    assert run_soak(config).fingerprint() == run_soak(config).fingerprint()

@@ -20,6 +20,7 @@ EXPECTED_ARMS = {
     "cold_restart_persistent",
     "vocab_drift",
     "shard_failover",
+    "gateway_soak",
 }
 
 
@@ -30,7 +31,7 @@ def test_scenarios(benchmark, save_result, scale):
     save_result(result)
     measured = result.measured
 
-    # The registry holds exactly the seven arms the library promises.
+    # The registry holds exactly the eight arms the library promises.
     assert set(SCENARIOS) == EXPECTED_ARMS
     assert measured["scenarios"] == len(EXPECTED_ARMS)
 

@@ -243,6 +243,26 @@ class ServingPipeline:
         self.tenant = tenant
         self.stats = ServingStats()
 
+    def close(self) -> None:
+        """Release the retrieval engine's worker resources, if any.
+
+        Engines with a shard backend (thread pools, worker processes)
+        expose ``close()``; plain engines and cache-only pipelines make
+        this a no-op.  The gateway and the experiment harnesses call it
+        on shutdown so a pipeline owns its stack's lifecycle end to end.
+        """
+        engine = self.search_engine
+        if engine is not None and callable(getattr(engine, "close", None)):
+            engine.close()
+
+    def __enter__(self) -> "ServingPipeline":
+        """Context-manager support: ``with ServingPipeline(...) as p:``."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the underlying engine on scope exit."""
+        self.close()
+
     # -- internal ------------------------------------------------------------
     def _lookup_cache(self, query: str) -> list[str] | None:
         """None on a cache *miss*; the (truncated) rewrite list on a hit.

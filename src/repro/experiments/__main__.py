@@ -28,6 +28,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    gateway_soak,
     hybrid_retrieval,
     lm_exploration,
     load_replay,
@@ -66,6 +67,7 @@ RUNNERS = {
     "load_replay": load_replay.run,
     "persistence": persistence.run,
     "scenarios": scenarios.run,
+    "gateway_soak": gateway_soak.run,
     "ablation_lambda": ablations.lambda_sweep,
     "ablation_diversity": ablations.decoder_diversity,
     "ablation_warmup": ablations.warmup_sensitivity,

@@ -1,0 +1,535 @@
+"""Typed wire schemas for the gateway: dataclass models + field validation.
+
+Every byte that crosses the gateway's socket is described by a model in
+this module.  Request models (:class:`RewriteRequest`,
+:class:`SearchRequest`, :class:`BatchRequest`) are parsed from untrusted
+JSON with **field-level validation** — missing/unknown fields, wrong
+types, out-of-range values and oversized strings each raise a
+:class:`SchemaError` carrying a stable machine-readable ``code`` — and
+response models (:class:`RewriteResponse`, :class:`SearchResponse`,
+:class:`StatsResponse`, ...) render themselves to JSON-able dicts with a
+pinned key order (``tests/data/golden_gateway_schemas.json`` holds the
+golden wire forms).
+
+The contract the fuzz suite (``tests/test_gateway_schemas.py``) pins:
+**malformed input can never surface as a 500** — every parse failure is
+a typed :class:`SchemaError`, which the HTTP layer maps to a 4xx
+:class:`ErrorEnvelope` with the same ``code``.
+
+The style follows the pydantic request/response models of production
+categorization services (``ItemInput`` / ``CategorizationResponse``),
+rebuilt on stdlib dataclasses so the gateway stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+import typing
+from dataclasses import dataclass
+
+#: hard ceilings of the wire format (validated per field)
+MAX_QUERY_CHARS = 512
+MAX_TENANT_CHARS = 64
+MAX_BATCH_ITEMS = 64
+MAX_LANE = 7
+
+#: retrieval modes a search request may ask for (engine support is
+#: re-checked at serve time; an unsupported-but-well-formed mode is a
+#: 400 ``invalid_value``, never a 500)
+SEARCH_MODES = ("lexical", "semantic", "hybrid")
+
+# -- stable error codes ------------------------------------------------------
+#: request body is not parseable JSON (or not a JSON object)
+INVALID_JSON = "invalid_json"
+#: a field holds the wrong JSON type
+INVALID_TYPE = "invalid_type"
+#: a required field is absent
+MISSING_FIELD = "missing_field"
+#: a field this model does not define
+UNKNOWN_FIELD = "unknown_field"
+#: right type, unacceptable value (range, choices, length, charset)
+INVALID_VALUE = "invalid_value"
+#: request body exceeds the gateway's size limit
+BODY_TOO_LARGE = "body_too_large"
+#: POST without a JSON content type
+UNSUPPORTED_MEDIA_TYPE = "unsupported_media_type"
+#: no route at this path
+NOT_FOUND = "not_found"
+#: route exists, method does not
+METHOD_NOT_ALLOWED = "method_not_allowed"
+#: POST without a Content-Length header
+LENGTH_REQUIRED = "length_required"
+#: malformed request line / headers
+BAD_REQUEST = "bad_request"
+#: per-tenant token bucket is empty
+RATE_LIMITED = "rate_limited"
+#: admission control shed the request (queue full)
+QUEUE_FULL = "queue_full"
+#: the gateway is draining; no new work is admitted
+DRAINING = "draining"
+#: unexpected server-side failure (the fuzz suite pins this to zero)
+INTERNAL = "internal"
+
+#: HTTP status for each error code — the full 4xx/5xx surface of the API
+STATUS_BY_CODE = {
+    INVALID_JSON: 400,
+    INVALID_TYPE: 400,
+    MISSING_FIELD: 400,
+    UNKNOWN_FIELD: 400,
+    INVALID_VALUE: 400,
+    BAD_REQUEST: 400,
+    NOT_FOUND: 404,
+    METHOD_NOT_ALLOWED: 405,
+    LENGTH_REQUIRED: 411,
+    BODY_TOO_LARGE: 413,
+    UNSUPPORTED_MEDIA_TYPE: 415,
+    RATE_LIMITED: 429,
+    QUEUE_FULL: 429,
+    DRAINING: 503,
+    INTERNAL: 500,
+}
+
+
+class SchemaError(ValueError):
+    """A payload failed schema validation.
+
+    Carries the stable machine-readable ``code`` (one of the module
+    constants above), a human-readable ``message``, and optionally the
+    offending ``field`` name — everything the HTTP layer needs to build
+    the typed 4xx :class:`ErrorEnvelope`.
+    """
+
+    def __init__(self, code: str, message: str, field: str | None = None):
+        """``code`` must be one of the module-level error-code constants."""
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.field = field
+
+
+def constrained(
+    *,
+    default=dataclasses.MISSING,
+    max_len: int | None = None,
+    min_value: float | None = None,
+    max_value: float | None = None,
+    choices: tuple | None = None,
+):
+    """A dataclass field with wire-validation constraints attached.
+
+    ``max_len`` bounds string length (and list length for list fields);
+    ``min_value``/``max_value`` bound numbers; ``choices`` enumerates the
+    accepted values.  Violations surface as ``invalid_value`` errors.
+    """
+    metadata = {
+        "max_len": max_len,
+        "min_value": min_value,
+        "max_value": max_value,
+        "choices": choices,
+    }
+    if default is dataclasses.MISSING:
+        return dataclasses.field(metadata=metadata)
+    return dataclasses.field(default=default, metadata=metadata)
+
+
+def _type_name(value) -> str:
+    """JSON-ish name of a Python value's type (for error messages)."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "object"
+    return type(value).__name__
+
+
+def _check_scalar(value, expected: type, name: str):
+    """Validate one scalar against ``str``/``int``/``float``/``bool``.
+
+    JSON's number type maps onto both int and float: ints are accepted
+    where floats are expected (never the reverse), and bool — a subclass
+    of int in Python — is accepted *only* where bool is expected.
+    """
+    if expected is bool:
+        if not isinstance(value, bool):
+            raise SchemaError(
+                INVALID_TYPE, f"{name} must be a boolean, got {_type_name(value)}", name
+            )
+        return value
+    if isinstance(value, bool):
+        raise SchemaError(
+            INVALID_TYPE, f"{name} must be a {expected.__name__}, got boolean", name
+        )
+    if expected is float:
+        if not isinstance(value, (int, float)):
+            raise SchemaError(
+                INVALID_TYPE, f"{name} must be a number, got {_type_name(value)}", name
+            )
+        return float(value)
+    if not isinstance(value, expected):
+        kind = "integer" if expected is int else expected.__name__
+        raise SchemaError(
+            INVALID_TYPE, f"{name} must be a {kind}, got {_type_name(value)}", name
+        )
+    return value
+
+
+def _apply_constraints(value, metadata, name: str):
+    """Enforce a field's ``constrained()`` metadata on a validated value."""
+    max_len = metadata.get("max_len")
+    if max_len is not None and isinstance(value, (str, list)):
+        if len(value) > max_len:
+            raise SchemaError(
+                INVALID_VALUE,
+                f"{name} exceeds the maximum length of {max_len}",
+                name,
+            )
+    if isinstance(value, str) and not isinstance(value, bool):
+        if metadata.get("min_value") == 1 and not value.strip():
+            raise SchemaError(INVALID_VALUE, f"{name} must not be empty", name)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        min_value = metadata.get("min_value")
+        max_value = metadata.get("max_value")
+        if min_value is not None and value < min_value:
+            raise SchemaError(
+                INVALID_VALUE, f"{name} must be >= {min_value}", name
+            )
+        if max_value is not None and value > max_value:
+            raise SchemaError(
+                INVALID_VALUE, f"{name} must be <= {max_value}", name
+            )
+    choices = metadata.get("choices")
+    if choices is not None and value is not None and value not in choices:
+        raise SchemaError(
+            INVALID_VALUE,
+            f"{name} must be one of {', '.join(map(str, choices))}",
+            name,
+        )
+    return value
+
+
+class WireModel:
+    """Base of every request/response model: parse + render + validate.
+
+    Subclasses are plain frozen dataclasses; :meth:`parse` validates an
+    untrusted JSON object against the dataclass fields (presence, JSON
+    type, ``constrained()`` bounds, and rejection of unknown keys) and
+    :meth:`to_wire` renders the instance back to a JSON-able dict in
+    declared field order — the byte-stable wire form the golden fixture
+    pins.
+    """
+
+    @classmethod
+    def _hints(cls) -> dict:
+        """Resolved (de-stringified) type annotations, cached per class."""
+        cached = cls.__dict__.get("_resolved_hints")
+        if cached is None:
+            cached = typing.get_type_hints(cls)
+            cls._resolved_hints = cached
+        return cached
+
+    @classmethod
+    def parse(cls, data):
+        """Validate ``data`` (a decoded JSON value) into an instance.
+
+        Raises :class:`SchemaError` with a stable ``code`` on any
+        violation; never raises anything else for any JSON input.
+        """
+        if not isinstance(data, dict):
+            raise SchemaError(
+                INVALID_TYPE,
+                f"{cls.__name__} payload must be a JSON object, "
+                f"got {_type_name(data)}",
+            )
+        spec = {f.name: f for f in dataclasses.fields(cls)}
+        for key in data:
+            if not isinstance(key, str) or key not in spec:
+                raise SchemaError(
+                    UNKNOWN_FIELD,
+                    f"{cls.__name__} does not define a field {key!r}",
+                    str(key),
+                )
+        hints = cls._hints()
+        kwargs = {}
+        for name, field_spec in spec.items():
+            if name not in data:
+                if (
+                    field_spec.default is dataclasses.MISSING
+                    and field_spec.default_factory is dataclasses.MISSING
+                ):
+                    raise SchemaError(
+                        MISSING_FIELD,
+                        f"{cls.__name__} requires the field {name!r}",
+                        name,
+                    )
+                continue
+            kwargs[name] = cls._parse_field(
+                data[name], hints[name], field_spec.metadata, name
+            )
+        return cls(**kwargs)
+
+    @classmethod
+    def _parse_field(cls, value, annotation, metadata, name: str):
+        """Validate one field value against its resolved annotation."""
+        origin = typing.get_origin(annotation)
+        # Optional[T] resolves to typing.Union; the PEP 604 spelling
+        # ``T | None`` resolves to types.UnionType — accept both.
+        if origin is typing.Union or isinstance(annotation, types.UnionType):
+            args = [a for a in typing.get_args(annotation) if a is not type(None)]
+            if value is None:
+                return None
+            annotation = args[0]
+            origin = typing.get_origin(annotation)
+        if value is None:
+            raise SchemaError(INVALID_TYPE, f"{name} must not be null", name)
+        if origin in (list, tuple):
+            if not isinstance(value, list):
+                raise SchemaError(
+                    INVALID_TYPE,
+                    f"{name} must be an array, got {_type_name(value)}",
+                    name,
+                )
+            _apply_constraints(value, metadata, name)
+            (item_type,) = typing.get_args(annotation)[:1] or (str,)
+            items = []
+            for position, item in enumerate(value):
+                item_name = f"{name}[{position}]"
+                if isinstance(item_type, type) and issubclass(item_type, WireModel):
+                    items.append(item_type.parse(item))
+                else:
+                    items.append(_check_scalar(item, item_type, item_name))
+            return items
+        if annotation is dict:
+            if not isinstance(value, dict):
+                raise SchemaError(
+                    INVALID_TYPE,
+                    f"{name} must be an object, got {_type_name(value)}",
+                    name,
+                )
+            return value
+        if isinstance(annotation, type) and issubclass(annotation, WireModel):
+            return annotation.parse(value)
+        checked = _check_scalar(value, annotation, name)
+        return _apply_constraints(checked, metadata, name)
+
+    def to_wire(self) -> dict:
+        """JSON-able dict in declared field order (nested models recurse)."""
+        wire = {}
+        for field_spec in dataclasses.fields(self):
+            wire[field_spec.name] = _wire_value(getattr(self, field_spec.name))
+        return wire
+
+
+def _wire_value(value):
+    """Recursively render a field value to its JSON-able form."""
+    if isinstance(value, WireModel):
+        return value.to_wire()
+    if isinstance(value, (list, tuple)):
+        return [_wire_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _wire_value(item) for key, item in value.items()}
+    return value
+
+
+# -- request models ----------------------------------------------------------
+@dataclass(frozen=True)
+class RewriteRequest(WireModel):
+    """``POST /v1/rewrite`` — one query through the rewrite tiers."""
+
+    #: the user query to rewrite (required, non-empty)
+    query: str = constrained(max_len=MAX_QUERY_CHARS, min_value=1)
+    #: marketplace the request belongs to (routes pipeline + rate bucket)
+    tenant: str = constrained(default="default", max_len=MAX_TENANT_CHARS, min_value=1)
+    #: scheduler priority lane, 0 (highest) .. MAX_LANE
+    lane: int = constrained(default=0, min_value=0, max_value=MAX_LANE)
+
+
+@dataclass(frozen=True)
+class SearchRequest(WireModel):
+    """``POST /v1/search`` — one query end to end: rewrite then retrieve."""
+
+    #: the user query to rewrite-and-retrieve (required, non-empty)
+    query: str = constrained(max_len=MAX_QUERY_CHARS, min_value=1)
+    #: marketplace the request belongs to
+    tenant: str = constrained(default="default", max_len=MAX_TENANT_CHARS, min_value=1)
+    #: scheduler priority lane
+    lane: int = constrained(default=0, min_value=0, max_value=MAX_LANE)
+    #: retrieval mode; null selects the engine's default
+    mode: str | None = constrained(default=None, choices=SEARCH_MODES)
+
+
+@dataclass(frozen=True)
+class BatchItem(WireModel):
+    """One entry of a ``/v1/batch`` request: a tagged rewrite or search."""
+
+    #: "rewrite" or "search"
+    kind: str = constrained(choices=("rewrite", "search"))
+    #: the user query (required, non-empty)
+    query: str = constrained(max_len=MAX_QUERY_CHARS, min_value=1)
+    #: scheduler priority lane
+    lane: int = constrained(default=0, min_value=0, max_value=MAX_LANE)
+    #: retrieval mode for search items; must be null for rewrite items
+    mode: str | None = constrained(default=None, choices=SEARCH_MODES)
+
+
+@dataclass(frozen=True)
+class BatchRequest(WireModel):
+    """``POST /v1/batch`` — several requests admitted as one submission.
+
+    Items still ride the scheduler individually (lanes and admission are
+    per item); the batch is a transport envelope, and the response
+    preserves item order.
+    """
+
+    #: entries to serve, in order (1 .. MAX_BATCH_ITEMS)
+    items: list[BatchItem] = constrained(max_len=MAX_BATCH_ITEMS)
+    #: marketplace every item belongs to
+    tenant: str = constrained(default="default", max_len=MAX_TENANT_CHARS, min_value=1)
+
+    def __post_init__(self):
+        """A batch with nothing to do is a caller bug, not an empty 200."""
+        if not self.items:
+            raise SchemaError(INVALID_VALUE, "items must not be empty", "items")
+
+
+# -- response models ---------------------------------------------------------
+@dataclass(frozen=True)
+class RewriteResponse(WireModel):
+    """Wire form of one served rewrite request."""
+
+    query: str
+    rewrites: list[str]
+    #: which tier answered: "cache" | "model" | "none"
+    source: str
+    #: wall-clock serving latency (cache lookup + amortized decode)
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class SearchResponse(WireModel):
+    """Wire form of one served end-to-end (rewrite + retrieve) request."""
+
+    query: str
+    rewrites: list[str]
+    #: which rewrite tier answered: "cache" | "model" | "none"
+    source: str
+    #: retrieval mode that actually served the request
+    mode: str
+    #: ranked result document ids
+    doc_ids: list[int]
+    #: postings touched by the retrieval (the paper's CPU-cost proxy)
+    postings_accessed: int
+    #: wall-clock end-to-end latency
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class BatchResponse(WireModel):
+    """Wire form of a served batch: tagged per-item results, in order."""
+
+    #: per-item wire dicts, each tagged with its ``kind``
+    results: list[dict]
+
+    @classmethod
+    def from_outcomes(cls, items, outcomes) -> "BatchResponse":
+        """Assemble from parallel lists of :class:`BatchItem` and wire dicts."""
+        results = []
+        for item, outcome in zip(items, outcomes):
+            tagged = {"kind": item.kind}
+            tagged.update(outcome)
+            results.append(tagged)
+        return cls(results=results)
+
+
+@dataclass(frozen=True)
+class HealthResponse(WireModel):
+    """Wire form of ``GET /v1/health``."""
+
+    #: "ok" while admitting, "draining" after /v1/drain
+    status: str
+    draining: bool
+    #: wall-clock seconds since the gateway started serving
+    uptime_seconds: float
+    #: pending requests across every tenant's scheduler
+    queue_depth: int
+    #: HTTP requests currently being handled
+    in_flight: int
+    #: tenants this gateway serves, sorted
+    tenants: list[str]
+
+
+@dataclass(frozen=True)
+class StatsResponse(WireModel):
+    """Wire form of ``GET /v1/stats``: serving + scheduler + HTTP telemetry."""
+
+    #: tenant -> deterministic ServingStats.counters() projection
+    serving: dict
+    #: additive counters summed over tenants (sum_counters)
+    totals: dict
+    #: tenant -> scheduler accounting (admitted/shed/completed/batches/...)
+    scheduler: dict
+    #: the gateway's own HTTP-layer counters
+    gateway: dict
+
+
+@dataclass(frozen=True)
+class DrainResponse(WireModel):
+    """Wire form of ``POST /v1/drain`` — the conservation receipt.
+
+    Sent only after every in-flight request completed; ``admitted ==
+    completed + shed`` is the zero-loss invariant the soak suite pins.
+    """
+
+    draining: bool
+    #: requests admitted into the schedulers over the gateway's lifetime
+    admitted: int
+    #: requests completed (served a 200)
+    completed: int
+    #: admitted requests shed by admission control (each got a 429)
+    shed: int
+    #: wall-clock seconds the drain spent flushing in-flight work
+    drain_seconds: float
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope(WireModel):
+    """The typed error wrapper every non-2xx response carries."""
+
+    #: stable machine-readable code (one of the module constants)
+    code: str
+    #: human-readable explanation
+    message: str
+    #: offending field, when the error is a validation failure
+    field: str | None = None
+    #: seconds after which a 429 caller may retry
+    retry_after_seconds: float | None = None
+
+    def to_wire(self) -> dict:
+        """``{"error": {...}}`` with null optionals omitted."""
+        inner = {"code": self.code, "message": self.message}
+        if self.field is not None:
+            inner["field"] = self.field
+        if self.retry_after_seconds is not None:
+            inner["retry_after_seconds"] = self.retry_after_seconds
+        return {"error": inner}
+
+    @classmethod
+    def parse(cls, data):
+        """Validate the ``{"error": {...}}`` wire shape back to a model."""
+        if not isinstance(data, dict) or set(data) != {"error"}:
+            raise SchemaError(
+                INVALID_TYPE, "error envelope must be {'error': {...}}"
+            )
+        return super(ErrorEnvelope, cls).parse(data["error"])
+
+    @property
+    def status(self) -> int:
+        """The HTTP status this envelope travels with."""
+        return STATUS_BY_CODE.get(self.code, 400)

@@ -8,9 +8,11 @@ rebuild.  See ``docs/ONLINE.md`` for the full story.
 
 Exported pieces:
 
-* :class:`VirtualClock` — explicitly-advanced time source shared by the
-  cache, the controller, and the staleness accounting, so replays are
-  deterministic.
+* :class:`VirtualClock` / :class:`WallClock` — the clock protocol's two
+  implementations: an explicitly-advanced virtual time source shared by
+  the cache, the controller, and the staleness accounting (so replays
+  are deterministic), and a latched real-time source that drives the
+  same scheduler behind the live :mod:`repro.gateway` front door.
 * :class:`WindowedStats` — sliding-window streaming gauges (hit rate,
   stale/empty-serve rates, p50/p95/p99 latency) with O(1) percentile
   reads and O(window) memory, replacing full-sort percentiles for long
@@ -36,7 +38,7 @@ Exported pieces:
   ``docs/SCENARIOS.md``).
 """
 
-from repro.online.clock import VirtualClock
+from repro.online.clock import VirtualClock, WallClock
 from repro.online.freshness import FreshnessController, FreshnessReport
 from repro.online.replay import (
     ChurnEvent,
@@ -67,6 +69,7 @@ from repro.online.stats import WindowedStats
 
 __all__ = [
     "VirtualClock",
+    "WallClock",
     "WindowedStats",
     "TrafficReplay",
     "ReplayConfig",

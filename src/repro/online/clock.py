@@ -1,4 +1,4 @@
-"""Virtual time for deterministic online replays.
+"""Time sources for the online stack: virtual (replays) and wall (serving).
 
 A replay must control time: TTL expiry, staleness-vs-churn comparisons,
 and refresh-ahead margins all compare timestamps, and wall-clock time
@@ -7,9 +7,31 @@ schedule.  :class:`VirtualClock` is a monotonic counter the replay driver
 advances explicitly — typically by a fixed number of virtual seconds per
 request — and everything that needs a clock (``RewriteCache``,
 ``FreshnessController``, staleness accounting) reads the same instance.
+
+A *live* deployment (the :mod:`repro.gateway` front door) needs the same
+protocol driven by real time.  :class:`WallClock` implements it over
+``time.monotonic()`` with **latched** reads: real time flows in only at
+explicit :meth:`WallClock.sync` points, so between two synchronizations
+the clock behaves exactly like a :class:`VirtualClock` — ``now()`` is
+stable, ``advance()`` moves it forward deterministically — which is what
+lets the :class:`~repro.online.scheduler.MicroBatchScheduler` run
+unmodified (and keep its arrival-ordering contract) against either
+implementation.
+
+The **clock protocol** both classes satisfy:
+
+* ``now() -> float`` — current time in seconds; never decreases, and
+  stable between mutations (``advance``/``sync``).
+* ``advance(seconds) -> float`` — move time forward by ``seconds >= 0``
+  and return the new time; negative deltas raise ``ValueError``.
+
+``tests/test_online.py`` holds the property-based conformance suite that
+pins this contract for every implementation.
 """
 
 from __future__ import annotations
+
+import time
 
 
 class VirtualClock:
@@ -37,3 +59,54 @@ class VirtualClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualClock(t={self._now:.3f})"
+
+
+class WallClock:
+    """Real time behind the same protocol as :class:`VirtualClock`.
+
+    Reads are **latched**: ``now()`` returns the last synchronized (or
+    advanced) value and does not move on its own.  Call :meth:`sync` at
+    each observation point — the gateway does so once per incoming
+    request and once per scheduler pump tick — to fold elapsed
+    ``time.monotonic()`` into the latch.  Latching is what makes the
+    scheduler's ``submit`` contract (arrival stamps are never in the
+    past) race-free under real time: the caller reads ``sync()`` and
+    submits with that exact stamp before time can move again.
+
+    ``advance()`` keeps the :class:`VirtualClock` semantics — it may push
+    the latch *ahead* of real time (e.g. a drain flushing deadline
+    triggers); a later ``sync()`` simply waits for real time to catch up
+    (it never goes backwards).
+    """
+
+    __slots__ = ("_origin", "_now")
+
+    def __init__(self, start: float = 0.0):
+        """``start`` anchors ``now()`` at construction, like VirtualClock."""
+        self._origin = time.monotonic() - float(start)
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current latched time in seconds (stable between sync/advance)."""
+        return self._now
+
+    def sync(self) -> float:
+        """Fold elapsed real time into the latch; returns the new time.
+
+        Monotonic: if ``advance()`` pushed the latch ahead of real time,
+        the latch stays put until real time passes it.
+        """
+        real = time.monotonic() - self._origin
+        if real > self._now:
+            self._now = real
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time. Never goes backwards."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WallClock(t={self._now:.3f})"

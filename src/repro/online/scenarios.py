@@ -400,6 +400,22 @@ class Scenario:
         """Arm-specific pinned bars, appended to the common invariants."""
         return []
 
+    def drive(self, runner: "ScenarioRunner") -> "ScenarioOutcome | None":
+        """Take over the whole run, bypassing the merged-trace replay.
+
+        Most arms return None and let :meth:`ScenarioRunner.run` drive
+        the standard interleaved replay.  Arms whose harness is not a
+        virtual-clock trace — the ``gateway_soak`` arm runs live HTTP
+        traffic against a wall-clocked :class:`~repro.gateway.app.Gateway`
+        — return a complete :class:`ScenarioOutcome` instead.  The
+        outcome's ``per_tenant`` entries must still carry the standard
+        telemetry keys (``counters``, ``requests``, ``submitted``,
+        ``churn_events``, ``dead_doc_hits``, ``cross_tenant_cache_hits``,
+        ``cross_tenant_doc_serves``) so :meth:`ScenarioOutcome.totals`
+        and the registry-wide gates keep working unchanged.
+        """
+        return None
+
 
 def _engine_doc_ids(engine) -> list[int]:
     """Sorted live document ids of any scenario engine (hybrid or sharded)."""
@@ -597,6 +613,10 @@ class ScenarioRunner:
     # -- replay --------------------------------------------------------------
     def run(self) -> ScenarioOutcome:
         """Build the tenants, replay the merged trace, judge the bars."""
+        driven = self.scenario.drive(self)
+        if driven is not None:
+            self.outcome = driven
+            return driven
         cfg = self.config
         physical = RewriteCache(
             capacity=cfg.cache_capacity,
@@ -1573,6 +1593,121 @@ class ShardFailoverScenario(Scenario):
         ]
 
 
+class GatewaySoakScenario(Scenario):
+    """Socket-path soak: live HTTP gateway vs in-process twin replay.
+
+    The only arm that leaves virtual time: it boots a real
+    :class:`~repro.gateway.app.Gateway` on an ephemeral loopback port
+    (wall-clock scheduling, asyncio sockets, concurrent clients) and
+    replays a deterministic churn-free trace through it, then replays
+    the *same* trace in process on a :class:`VirtualClock` and demands
+    the two arms' deterministic serving counters be **byte-identical** —
+    plus zero HTTP 500s, schema-valid responses throughout, and a
+    drain receipt conserving every admitted request.  Implemented via
+    :meth:`Scenario.drive`; the shared harness lives in
+    :mod:`repro.gateway.soak`.
+    """
+
+    name = "gateway_soak"
+    description = "live HTTP soak; socket-path counters byte-match the virtual twin"
+
+    def drive(self, runner: ScenarioRunner) -> ScenarioOutcome:
+        """Run both soak arms and judge the conformance bars."""
+        # Imported lazily: repro.gateway imports this package at module
+        # load, so a top-level import here would be circular.
+        from repro.gateway.soak import SoakConfig, run_soak
+
+        cfg = runner.config
+        tenants = tuple(f"tenant{i}" for i in range(cfg.num_tenants))
+        outcome = run_soak(
+            SoakConfig(
+                seed=cfg.seed,
+                num_requests=cfg.requests_per_tenant * cfg.num_tenants,
+                tenants=tenants,
+                search_every=cfg.search_every,
+                products_per_category=cfg.products_per_category,
+                sessions_per_tenant=cfg.num_sessions,
+            )
+        )
+        per_tenant = {}
+        for tenant in tenants:
+            counters = outcome.twin_counters[tenant]
+            per_tenant[tenant] = {
+                "counters": counters,
+                "requests": counters["admitted"],
+                "submitted": counters["admitted"] + counters["shed"],
+                "searches": counters["search_requests"],
+                "churn_events": 0,  # the conformance trace is pure traffic
+                "dead_doc_hits": 0,
+                "cross_tenant_cache_hits": 0,
+                "cross_tenant_doc_serves": 0,
+                "counters_byte_identical": outcome.identical,
+            }
+        answered_200 = outcome.responses_by_status.get("200", 0)
+        receipt = outcome.receipt or {}
+        invariants = [
+            InvariantResult(
+                name="socket_counters_byte_identical",
+                passed=outcome.identical,
+                observed=float(outcome.identical),
+                bar="== virtual-clock twin",
+                detail=(
+                    "per-tenant ServingStats.counters() over the socket path "
+                    "must byte-match the same-seed in-process replay"
+                ),
+            ),
+            InvariantResult(
+                name="zero_http_500s",
+                passed=outcome.http_500s == 0,
+                observed=float(outcome.http_500s),
+                bar="== 0",
+                detail="no request may surface an internal error",
+            ),
+            InvariantResult(
+                name="all_responses_schema_valid",
+                passed=outcome.schema_failures == 0,
+                observed=float(outcome.schema_failures),
+                bar="== 0",
+                detail="every 200 body re-validates against its typed response model",
+            ),
+            InvariantResult(
+                name="every_request_answered_200",
+                passed=answered_200 == outcome.requests,
+                observed=float(answered_200),
+                bar=f"== {outcome.requests}",
+                detail=f"responses by status: {outcome.responses_by_status}",
+            ),
+            InvariantResult(
+                name="zero_lost_requests",
+                passed=outcome.receipt is not None and outcome.lost_requests == 0,
+                observed=float(outcome.lost_requests),
+                bar="== 0",
+                detail=(
+                    f"drain receipt admitted={receipt.get('admitted')} "
+                    f"completed={receipt.get('completed')} shed={receipt.get('shed')}"
+                ),
+            ),
+            InvariantResult(
+                name="soak_sheds_nothing",
+                passed=receipt.get("shed", -1) == 0,
+                observed=float(receipt.get("shed", -1)),
+                bar="== 0",
+                detail="the conformance trace runs far below the admission bound",
+            ),
+        ]
+        return ScenarioOutcome(
+            scenario=self.name,
+            config=cfg,
+            invariants=invariants,
+            per_tenant=per_tenant,
+            notes={
+                "responses_by_status": dict(outcome.responses_by_status),
+                "gateway_stats": dict(outcome.gateway_stats),
+                "receipt": dict(receipt),
+            },
+        )
+
+
 #: registry of every pinned scenario, keyed by stable name
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
@@ -1584,6 +1719,7 @@ SCENARIOS: dict[str, Scenario] = {
         ColdRestartPersistentScenario(),
         VocabDriftScenario(),
         ShardFailoverScenario(),
+        GatewaySoakScenario(),
     )
 }
 

@@ -215,6 +215,16 @@ class MicroBatchScheduler:
     for staleness accounting at the moment each request is actually
     served.  Completions are also collected in :attr:`completed`.
 
+    ``on_shed`` (optional) is called with each :class:`ScheduledRequest`
+    that admission control sheds — the arriving request itself when
+    nothing lower-priority is pending, or the evicted victim when the
+    arrival displaces a queued request.  Together with ``on_batch`` this
+    gives every submitted request exactly one completion *or* one shed
+    notification, which is what lets an async front door (the
+    :mod:`repro.gateway` bridge) resolve a future per request without
+    polling.  Both callbacks observe only outcomes; they cannot change a
+    scheduling decision, so fingerprints are callback-invariant.
+
     Not thread-safe by design: determinism comes from a single logical
     event loop.  Concurrency lives below (the pipeline's sharded engine
     fan-out) and above (independent scheduler instances per arm).
@@ -227,6 +237,7 @@ class MicroBatchScheduler:
         config: SchedulerConfig | None = None,
         *,
         on_batch=None,
+        on_shed=None,
     ):
         """``pipeline`` must have a search engine if search requests are
         submitted; ``clock`` is shared with the cache/freshness stack."""
@@ -234,6 +245,7 @@ class MicroBatchScheduler:
         self.clock = clock
         self.config = config or SchedulerConfig()
         self.on_batch = on_batch
+        self.on_shed = on_shed
         self.report = SchedulerReport(
             shed_by_lane=[0] * self.config.num_lanes,
             admitted_by_lane=[0] * self.config.num_lanes,
@@ -285,13 +297,13 @@ class MicroBatchScheduler:
             victim = self._shed_victim(request.lane)
             if victim is None:
                 # Nothing strictly less important is waiting: shed the arrival.
-                self._shed(request.lane)
+                self._shed(request)
                 return False
             # Make room by shedding the youngest request of the lowest lane.
             victim_kind, victim_lane = victim
-            self._lanes[victim_kind][victim_lane].pending.pop()
+            victim_request = self._lanes[victim_kind][victim_lane].pending.pop()
             self._depth -= 1
-            self._shed(victim_lane)
+            self._shed(victim_request)
         self._lanes[request.kind][request.lane].pending.append(request)
         self._depth += 1
         self.report.admitted += 1
@@ -320,10 +332,12 @@ class MicroBatchScheduler:
         return self.report
 
     # -- internals -----------------------------------------------------------
-    def _shed(self, lane: int) -> None:
+    def _shed(self, request: ScheduledRequest) -> None:
         self.report.shed += 1
-        self.report.shed_by_lane[lane] += 1
+        self.report.shed_by_lane[request.lane] += 1
         self.pipeline.stats.shed += 1
+        if self.on_shed is not None:
+            self.on_shed(request)
 
     def _shed_victim(self, arriving_lane: int) -> tuple[str, int] | None:
         """The (kind, lane) whose youngest pending request should be shed

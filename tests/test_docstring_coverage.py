@@ -23,6 +23,7 @@ PACKAGES = (
     "repro.online",
     "repro.store",
     "repro.cluster",
+    "repro.gateway",
 )
 
 

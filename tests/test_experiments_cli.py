@@ -51,7 +51,7 @@ class TestCli:
         expected_arms = {
             "multi_tenant", "hot_key_storm", "churn_storm",
             "cold_restart", "cold_restart_persistent", "vocab_drift",
-            "shard_failover",
+            "shard_failover", "gateway_soak",
         }
         assert set(SCENARIOS) == expected_arms
         for name in expected_arms:

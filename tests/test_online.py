@@ -1,8 +1,13 @@
 """The online freshness subsystem: clock, windowed gauges, controller, replay."""
 
+import hashlib
 import math
+import time
 
 import pytest
+from hypothesis import given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as hyp_st
 
 from repro.baselines import RuleBasedRewriter
 from repro.core import RewriteCache, ServingConfig, ServingPipeline
@@ -15,6 +20,7 @@ from repro.online import (
     SchedulerConfig,
     TrafficReplay,
     VirtualClock,
+    WallClock,
     WindowedStats,
 )
 from repro.search import SearchConfig, ShardedSearchEngine
@@ -371,3 +377,114 @@ class TestTrafficReplay:
         generator, click_log, _ = build_small_replay()
         with pytest.raises(ValueError):
             TrafficReplay(click_log, generator, ReplayConfig(num_requests=0))
+
+
+class TestClockConformance:
+    """Property suite for the clock protocol, over BOTH implementations.
+
+    ``WallClock`` must be a drop-in for ``VirtualClock`` wherever the
+    caller drives time explicitly: latched ``now()`` reads are stable
+    between mutations, ``advance`` is exact, and negative deltas raise.
+    Only ``sync()`` (WallClock's own extension) folds real time in.
+    """
+
+    @pytest.mark.parametrize("clock_cls", [VirtualClock, WallClock])
+    def test_negative_advance_raises(self, clock_cls):
+        with pytest.raises(ValueError):
+            clock_cls().advance(-1e-9)
+
+    @pytest.mark.parametrize("clock_cls", [VirtualClock, WallClock])
+    def test_custom_start_anchors_now(self, clock_cls):
+        assert clock_cls(start=10.0).now() == 10.0
+
+    @given(
+        deltas=hyp_st.lists(
+            hyp_st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=30,
+        )
+    )
+    @hyp_settings(max_examples=100, deadline=None)
+    def test_advance_is_exact_and_monotone_for_both(self, deltas):
+        virtual, wall = VirtualClock(), WallClock()
+        for clock in (virtual, wall):
+            expected = 0.0
+            for delta in deltas:
+                before = clock.now()
+                after = clock.advance(delta)
+                expected += delta
+                assert after == clock.now()
+                assert after >= before
+                assert after == pytest.approx(expected, abs=1e-6)
+        # the two implementations agree step for step under advance()
+        assert virtual.now() == pytest.approx(wall.now(), abs=1e-6)
+
+    def test_wall_clock_reads_are_latched(self):
+        clock = WallClock()
+        first = clock.now()
+        # real time moves; the latch must not (until a sync)
+        time.sleep(0.002)
+        assert clock.now() == first
+
+    def test_wall_clock_sync_is_monotone_and_folds_real_time(self):
+        clock = WallClock()
+        a = clock.sync()
+        time.sleep(0.002)
+        b = clock.sync()
+        assert b >= a
+        assert b > 0.0
+        assert clock.now() == b
+
+    def test_wall_clock_advance_ahead_of_real_time_wins(self):
+        """The drain path: advance() may outrun real time; sync() then
+        holds the latch until real time catches up (never backwards)."""
+        clock = WallClock()
+        far = clock.advance(3600.0)
+        assert clock.sync() == far
+        assert clock.now() == far
+
+
+class TestFingerprintRegression:
+    """Hard-pinned digests: the refactor-proof byte-identity gates.
+
+    These digests were recorded when the ``WallClock`` front door landed;
+    any change to scheduler batching, admission, serving tiers, replay
+    trace generation or scenario accounting that shifts a single counter
+    will break them.  If a change is *intentional*, re-pin the digests in
+    the same commit that changes the behaviour."""
+
+    SCHEDULER_DIGEST = (
+        "a894a35b63dea7fabf4f117475b930a4d5f5f8d48e2bcdd1a6d5b70899d0c694"
+    )
+    COUNTERS_DIGEST = (
+        "70bdc0b3bf3573971010a208ff618d54fa76482610b2d9cc1198bd7d1c6dfd0b"
+    )
+    SCENARIO_DIGEST = (
+        "ba12bc8e55dc4ed90fb5a4006b0743f5a9cd17bcee48adcec72949ad8e90cbbc"
+    )
+
+    @staticmethod
+    def _digest(value) -> str:
+        return hashlib.sha256(repr(value).encode()).hexdigest()
+
+    def test_scheduled_replay_fingerprint_is_pinned(self):
+        generator, _, replay = build_small_replay(seed=11)
+        engine, clock, pipeline, _ = build_stack(generator, replay)
+        report = replay.run_scheduled(
+            pipeline,
+            clock,
+            SchedulerConfig(max_batch_size=8, max_wait_seconds=0.8),
+        )
+        engine.close()
+        assert self._digest(report.scheduler.fingerprint()) == (
+            self.SCHEDULER_DIGEST
+        )
+        counters = sorted(
+            pipeline.stats.counters().items(), key=lambda kv: kv[0]
+        )
+        assert self._digest(counters) == self.COUNTERS_DIGEST
+
+    def test_multi_tenant_scenario_fingerprint_is_pinned(self):
+        from repro.online import ScenarioConfig, run_scenario
+
+        outcome = run_scenario("multi_tenant", ScenarioConfig().scaled(0.04))
+        assert self._digest(outcome.fingerprint()) == self.SCENARIO_DIGEST

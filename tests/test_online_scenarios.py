@@ -29,7 +29,7 @@ SMOKE = ScenarioConfig().scaled(0.04)
 
 
 class TestRegistry:
-    def test_registry_holds_the_seven_arms(self):
+    def test_registry_holds_the_eight_arms(self):
         assert set(SCENARIOS) == {
             "multi_tenant",
             "hot_key_storm",
@@ -38,6 +38,7 @@ class TestRegistry:
             "cold_restart_persistent",
             "vocab_drift",
             "shard_failover",
+            "gateway_soak",
         }
 
     def test_registry_keys_match_scenario_names(self):

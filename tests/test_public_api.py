@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.online",
     "repro.store",
     "repro.cluster",
+    "repro.gateway",
 ]
 
 
@@ -121,6 +122,59 @@ def test_cluster_surface():
         assert issubclass(cls, cluster.ShardBackend)
         for verb in ("call", "fanout", "quiesce", "close", "kill", "describe"):
             assert callable(getattr(cls, verb)), (cls.__name__, verb)
+
+
+def test_gateway_surface():
+    """The HTTP front door is part of repro.gateway's public contract."""
+    from repro import gateway
+
+    for symbol in (
+        "Gateway",
+        "GatewayConfig",
+        "GatewayStats",
+        "SchedulerBridge",
+        "RequestShed",
+        "RateLimiter",
+        "RateLimitConfig",
+        "TokenBucket",
+        "SchemaError",
+        "ErrorEnvelope",
+        "RewriteRequest",
+        "SearchRequest",
+        "BatchRequest",
+        "RewriteResponse",
+        "SearchResponse",
+        "BatchResponse",
+        "HealthResponse",
+        "DrainResponse",
+        "SoakConfig",
+        "MiniClient",
+        "run_soak",
+    ):
+        assert symbol in gateway.__all__, symbol
+        assert hasattr(gateway, symbol), symbol
+
+    # Every wire model exposes the parse/wire round trip the typed
+    # schema contract promises, and schema faults carry stable codes.
+    for cls in (
+        gateway.RewriteRequest,
+        gateway.SearchRequest,
+        gateway.BatchRequest,
+        gateway.RewriteResponse,
+        gateway.SearchResponse,
+        gateway.BatchResponse,
+        gateway.HealthResponse,
+        gateway.DrainResponse,
+        gateway.ErrorEnvelope,
+    ):
+        assert callable(getattr(cls, "parse")), cls.__name__
+        assert callable(getattr(cls, "to_wire")), cls.__name__
+    fault = gateway.SchemaError("invalid_type", "boom", field="query")
+    assert fault.code == "invalid_type"
+    envelope = gateway.ErrorEnvelope(
+        code=fault.code, message=fault.message, field=fault.field
+    )
+    assert envelope.status == 400
 
 
 def test_store_surface():

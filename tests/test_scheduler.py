@@ -393,3 +393,147 @@ class TestValidation:
         assert clock.now() == 0.0
         assert report.p95_queue_delay_seconds() == 0.0
         assert report.mean_batch_size() == 0.0
+
+
+class TestShedCallback:
+    """The ``on_shed`` half of the completion contract.
+
+    Every submitted request triggers exactly one ``on_batch`` completion
+    OR one ``on_shed`` notification — the property the gateway's
+    future-per-request bridge is built on — and registering callbacks
+    must not perturb the deterministic fingerprint."""
+
+    def _stack_with_sheds(self, config):
+        clock = VirtualClock()
+        pipeline = ServingPipeline(
+            None, EchoRewriter(), ServingConfig(max_rewrites=3)
+        )
+        batches, sheds = [], []
+        scheduler = MicroBatchScheduler(
+            pipeline, clock, config, on_batch=batches.append, on_shed=sheds.append
+        )
+        return scheduler, batches, sheds
+
+    def test_arrival_shed_fires_once_with_the_arrival(self):
+        scheduler, batches, sheds = self._stack_with_sheds(
+            SchedulerConfig(
+                max_batch_size=100, max_wait_seconds=50.0, max_queue_depth=2
+            )
+        )
+        requests = [
+            ScheduledRequest(query=f"q{i}", arrival_seconds=i * 0.1)
+            for i in range(3)
+        ]
+        for request in requests:
+            scheduler.submit(request)
+        # the third arrival found the queue full of equal-priority work
+        assert sheds == [requests[2]]
+        scheduler.drain()
+        assert sheds == [requests[2]]  # the drain sheds nothing further
+        completed = [c.request for batch in batches for c in batch]
+        assert completed == requests[:2]
+
+    def test_eviction_fires_once_with_the_victim(self):
+        scheduler, batches, sheds = self._stack_with_sheds(
+            SchedulerConfig(
+                max_batch_size=100,
+                max_wait_seconds=50.0,
+                max_queue_depth=2,
+                num_lanes=2,
+            )
+        )
+        low_old = ScheduledRequest(query="low old", arrival_seconds=0.0, lane=1)
+        low_new = ScheduledRequest(query="low new", arrival_seconds=0.1, lane=1)
+        high = ScheduledRequest(query="high", arrival_seconds=0.2, lane=0)
+        for request in (low_old, low_new, high):
+            scheduler.submit(request)
+        assert sheds == [low_new]  # the youngest low-lane request
+        scheduler.drain()
+        completed = [c.request for batch in batches for c in batch]
+        assert completed == [high, low_old]
+        assert sheds == [low_new]
+
+    def test_every_submission_completes_or_sheds_exactly_once(self):
+        scheduler, batches, sheds = self._stack_with_sheds(
+            SchedulerConfig(
+                max_batch_size=4,
+                max_wait_seconds=0.3,
+                max_queue_depth=3,
+                num_lanes=2,
+            )
+        )
+        submitted = []
+        for i in range(40):  # lanes + timing chosen to force both shed kinds
+            request = ScheduledRequest(
+                query=f"q{i % 5}", arrival_seconds=i * 0.01, lane=i % 2
+            )
+            submitted.append(request)
+            scheduler.submit(request)
+        scheduler.drain()
+        completed = [c.request for batch in batches for c in batch]
+        outcomes = completed + sheds
+        assert len(outcomes) == len(submitted)
+        # identity check, not equality: duplicate queries are distinct
+        assert {id(r) for r in outcomes} == {id(r) for r in submitted}
+        report = scheduler.report
+        assert report.completed == len(completed)
+        assert report.shed == len(sheds)
+
+    def test_callbacks_do_not_change_the_fingerprint(self):
+        def run(with_callbacks):
+            clock = VirtualClock()
+            pipeline = ServingPipeline(
+                None, EchoRewriter(), ServingConfig(max_rewrites=3)
+            )
+            sink: list = []
+            kwargs = (
+                {"on_batch": sink.append, "on_shed": sink.append}
+                if with_callbacks
+                else {}
+            )
+            scheduler = MicroBatchScheduler(
+                pipeline,
+                clock,
+                SchedulerConfig(
+                    max_batch_size=4, max_wait_seconds=0.3, max_queue_depth=3
+                ),
+                **kwargs,
+            )
+            for i in range(30):
+                scheduler.submit(
+                    ScheduledRequest(query=f"q{i % 7}", arrival_seconds=i * 0.05)
+                )
+            return scheduler.drain().fingerprint()
+
+        assert run(True) == run(False)
+
+
+class TestWallClockDropIn:
+    """A scheduler driven by explicit time is clock-implementation-blind.
+
+    ``WallClock`` without any ``sync()`` calls must behave exactly like
+    ``VirtualClock`` — arrivals advance the latch through ``submit`` and
+    the fingerprints agree byte for byte."""
+
+    def _run(self, clock):
+        pipeline = ServingPipeline(
+            None, EchoRewriter(), ServingConfig(max_rewrites=3)
+        )
+        scheduler = MicroBatchScheduler(
+            pipeline,
+            clock,
+            SchedulerConfig(max_batch_size=8, max_wait_seconds=0.5),
+        )
+        for i in range(50):
+            scheduler.submit(
+                ScheduledRequest(query=f"q{i % 9}", arrival_seconds=i * 0.07)
+            )
+        return scheduler.drain().fingerprint(), pipeline.stats.counters()
+
+    def test_wall_clock_matches_virtual_clock_exactly(self):
+        from repro.online import WallClock
+
+        virtual_fp, virtual_counters = self._run(VirtualClock())
+        wall_fp, wall_counters = self._run(WallClock())
+        assert wall_fp == virtual_fp
+        assert wall_counters == virtual_counters
