@@ -117,6 +117,15 @@ class ServingStats:
     search_backend: str = ""
     failovers: int = 0
     rerouted_requests: int = 0
+    #: model-tier decode gauges, mirrored from the fallback rewriter's
+    #: model after each serve (zeros without a neural fallback):
+    #: cumulative ``step`` calls and rows stepped.  With active-row
+    #: compaction ``decode_rows`` grows slower than steps × batch width —
+    #: the visible work saving.  Deliberately NOT part of
+    #: :meth:`counters`: the replay digests pin that dict's exact shape,
+    #: and these are work accounting, not request accounting.
+    decode_steps: int = 0
+    decode_rows: int = 0
 
     @property
     def total(self) -> int:
@@ -305,6 +314,16 @@ class ServingPipeline:
         self.stats.cache_fill_ratio = self.cache.fill_ratio
         self.stats.cache_shard_occupancy = self.cache.shard_occupancy()
 
+    def _sync_decode_gauges(self) -> None:
+        # Any fallback exposing a `model` with decode telemetry (every
+        # Seq2SeqModel) is sampled; rule-based fallbacks have neither
+        # attribute and leave the gauges at zero.
+        model = getattr(self.fallback, "model", None)
+        if model is None:
+            return
+        self.stats.decode_steps = int(getattr(model, "decode_steps", 0))
+        self.stats.decode_rows = int(getattr(model, "decode_rows", 0))
+
     # -- serving -------------------------------------------------------------
     def serve(self, query: str) -> ServedRewrite:
         """Serve one request, recording tier and latency."""
@@ -322,6 +341,7 @@ class ServingPipeline:
         latency_ms = (time.perf_counter() - started) * 1000.0
         self._record(source, latency_ms)
         self._sync_cache_gauges()
+        self._sync_decode_gauges()
         return ServedRewrite(
             query=query, rewrites=rewrites or [], source=source, latency_ms=latency_ms
         )
@@ -386,6 +406,7 @@ class ServingPipeline:
         if queries:
             self.stats.batches += 1
         self._sync_cache_gauges()
+        self._sync_decode_gauges()
         return results
 
     def _resolve_modes(

@@ -21,18 +21,25 @@ Exported symbols:
   ``ServingPipeline.serve_batch``.
 * :func:`diverse_beam_search` — diverse beam search (Vijayakumar et al.,
   2016), named as future work in Section V.
+* :func:`sample_top_n_pools` — the vectorized top-n pool sampler the
+  sampling decoders share (one uniform deviate per legal row, in row
+  order — the per-row ``rng.choice`` contract, batched).
 * :func:`log_softmax_np` / :func:`logsumexp_np` — numerically stable
   log-space primitives every decoder and the rewrite scorer share.
 
 The ``*_batch`` variants accept either a padded (batch, seq) array or a
 list of variable-length id lists, and cost the same number of model calls
-as a single source.
+as a single source.  All decoders drop finished rows from the decode
+batch as they go (active-row compaction); ``repro.decoding.reference``
+keeps frozen pre-optimization implementations as equivalence oracles and
+benchmark baselines.  ``docs/DECODING.md`` documents the cache layout,
+compaction semantics and determinism contract.
 """
 
 from repro.decoding.hypothesis import Hypothesis
 from repro.decoding.greedy import greedy_decode, greedy_decode_batch
 from repro.decoding.beam import beam_search, beam_search_batch
-from repro.decoding.topn import top_n_sampling, top_n_sampling_batch
+from repro.decoding.topn import sample_top_n_pools, top_n_sampling, top_n_sampling_batch
 from repro.decoding.diverse_beam import diverse_beam_search
 from repro.decoding.logspace import log_softmax_np, logsumexp_np
 
@@ -44,6 +51,7 @@ __all__ = [
     "beam_search_batch",
     "top_n_sampling",
     "top_n_sampling_batch",
+    "sample_top_n_pools",
     "diverse_beam_search",
     "log_softmax_np",
     "logsumexp_np",

@@ -1,4 +1,12 @@
-"""Beam search decoding."""
+"""Beam search decoding.
+
+The decode batch holds exactly the *live* beams: a single row before the
+first expansion, up to ``beam_size`` rows afterwards, narrowing again as
+hypotheses finish.  The seed implementation instead padded every beam back
+to a fixed width with ``-inf``-scored duplicate rows and kept stepping
+them; since non-finite candidates are always filtered out of the expansion,
+dropping those rows changes nothing but the model work.
+"""
 
 from __future__ import annotations
 
@@ -36,15 +44,13 @@ def beam_search(
         raise ValueError("beam_size must be positive")
 
     state = model.start(src)
-    # Expand the singleton batch to `beam_size` identical rows.
-    state = state.reorder(np.zeros(beam_size, dtype=np.int64), model)
-    beams: list[tuple[list[int], float]] = [([], 0.0)] + [([], -np.inf)] * (beam_size - 1)
-    last = np.full(beam_size, model.sos_id, dtype=np.int64)
+    beams: list[tuple[list[int], float]] = [([], 0.0)]
+    last = np.array([model.sos_id], dtype=np.int64)
     finished: list[Hypothesis] = []
 
     for _ in range(max_len):
         logits, state = model.step(state, last)
-        log_probs = log_softmax_np(logits)  # (beam, vocab)
+        log_probs = log_softmax_np(logits)  # (live beams, vocab)
         vocab = log_probs.shape[1]
         scores = np.array([s for _, s in beams])[:, None] + log_probs
         flat = scores.reshape(-1)
@@ -71,12 +77,6 @@ def beam_search(
 
         if not new_beams:
             break
-        # Pad the beam back up by repeating the best survivor with -inf so
-        # the batch width stays constant.
-        while len(new_beams) < beam_size:
-            new_beams.append((new_beams[0][0], -np.inf))
-            reorder.append(reorder[0])
-            next_tokens.append(next_tokens[0])
         beams = new_beams
         state = state.reorder(np.array(reorder, dtype=np.int64), model)
         last = np.array(next_tokens, dtype=np.int64)
@@ -109,12 +109,13 @@ def beam_search_batch(
 ) -> list[list[Hypothesis]]:
     """Beam search over a batch of sources in one stacked decode.
 
-    Every source keeps its own ``beam_size`` beams; the flat decode batch
-    is (num_sources × beam_size) rows, laid out source-major so a single
-    ``state.reorder`` call applies every source's beam shuffle at once.
-    Sources that exhaust their beams or collect enough finished hypotheses
-    stop being expanded (their rows keep stepping for batch rectangularity
-    but are ignored).  Returns one ranked hypothesis list per source.
+    Every source keeps its own beams; the flat decode batch concatenates
+    each live source's live beams source-major, so a single
+    ``state.reorder`` call applies every source's beam shuffle (and any
+    width change) at once.  Sources that exhaust their beams or collect
+    enough finished hypotheses are compacted out of the batch entirely —
+    no rows are stepped for rectangularity.  Returns one ranked hypothesis
+    list per source, in input order.
     """
     if isinstance(src, list):
         src = pad_sources(src, model.pad_id)
@@ -124,29 +125,27 @@ def beam_search_batch(
     batch = src.shape[0]
 
     state = model.start(src)
-    # Row s*beam_size + b holds beam b of source s.
-    state = state.reorder(np.repeat(np.arange(batch), beam_size), model)
-    beams: list[list[tuple[list[int], float]]] = [
-        [([], 0.0)] + [([], -np.inf)] * (beam_size - 1) for _ in range(batch)
-    ]
-    last = np.full(batch * beam_size, model.sos_id, dtype=np.int64)
+    beams: list[list[tuple[list[int], float]]] = [[([], 0.0)] for _ in range(batch)]
+    # `widths[s]` is source s's current row count in the decode batch
+    # (0 once the source retires); rows stay source-major.
+    widths = [1] * batch
+    last = np.full(batch, model.sos_id, dtype=np.int64)
     finished: list[list[Hypothesis]] = [[] for _ in range(batch)]
-    active = [True] * batch
 
     for _ in range(max_len):
-        if not any(active):
-            break
         logits, state = model.step(state, last)
-        log_probs = log_softmax_np(logits)  # (batch*beam, vocab)
+        log_probs = log_softmax_np(logits)  # (sum of live widths, vocab)
         vocab = log_probs.shape[1]
-        reorder = np.arange(batch * beam_size, dtype=np.int64)
-        next_tokens = last.copy()
+        reorder: list[int] = []
+        next_tokens: list[int] = []
+        new_widths = [0] * batch
+        offset = 0
 
         for s in range(batch):
-            if not active[s]:
+            width = widths[s]
+            if width == 0:
                 continue
-            base = s * beam_size
-            block = log_probs[base : base + beam_size]
+            block = log_probs[offset : offset + width]
             scores = np.array([score for _, score in beams[s]])[:, None] + block
             flat = scores.reshape(-1)
             top = np.argpartition(-flat, min(beam_size, flat.size) - 1)[:beam_size]
@@ -170,23 +169,19 @@ def beam_search_batch(
                 local_reorder.append(beam_idx)
                 local_tokens.append(token)
 
-            if not new_beams or len(finished[s]) >= beam_size:
-                active[s] = False
-                if new_beams:
-                    beams[s] = new_beams + [
-                        (new_beams[0][0], -np.inf)
-                    ] * (beam_size - len(new_beams))
-                continue
-            while len(new_beams) < beam_size:
-                new_beams.append((new_beams[0][0], -np.inf))
-                local_reorder.append(local_reorder[0])
-                local_tokens.append(local_tokens[0])
-            beams[s] = new_beams
-            reorder[base : base + beam_size] = base + np.array(local_reorder)
-            next_tokens[base : base + beam_size] = local_tokens
+            if new_beams:
+                beams[s] = new_beams
+            if new_beams and len(finished[s]) < beam_size:
+                new_widths[s] = len(new_beams)
+                reorder.extend(offset + r for r in local_reorder)
+                next_tokens.extend(local_tokens)
+            offset += width
 
-        state = state.reorder(reorder, model)
-        last = next_tokens
+        if not reorder:
+            break
+        state = state.reorder(np.array(reorder, dtype=np.int64), model)
+        last = np.array(next_tokens, dtype=np.int64)
+        widths = new_widths
 
     def rank(h: Hypothesis) -> float:
         return h.log_prob / (len(h.tokens) + 1) ** length_penalty

@@ -73,11 +73,15 @@ def _penalized_beam(
     usage: list[Counter],
     strength: float,
 ) -> list[Hypothesis]:
-    """Beam search whose step scores subtract earlier groups' token usage."""
+    """Beam search whose step scores subtract earlier groups' token usage.
+
+    Like :func:`repro.decoding.beam.beam_search`, the decode batch holds
+    only the live beams (one row at the start, narrowing as hypotheses
+    finish) instead of being padded to a fixed width with dead rows.
+    """
     state = model.start(src)
-    state = state.reorder(np.zeros(beam_size, dtype=np.int64), model)
-    beams: list[tuple[list[int], float]] = [([], 0.0)] + [([], -np.inf)] * (beam_size - 1)
-    last = np.full(beam_size, model.sos_id, dtype=np.int64)
+    beams: list[tuple[list[int], float]] = [([], 0.0)]
+    last = np.array([model.sos_id], dtype=np.int64)
     finished: list[Hypothesis] = []
 
     for t in range(max_len):
@@ -111,10 +115,6 @@ def _penalized_beam(
             next_tokens.append(token)
         if not new_beams:
             break
-        while len(new_beams) < beam_size:
-            new_beams.append((new_beams[0][0], -np.inf))
-            reorder.append(reorder[0])
-            next_tokens.append(next_tokens[0])
         beams = new_beams
         state = state.reorder(np.array(reorder, dtype=np.int64), model)
         last = np.array(next_tokens, dtype=np.int64)

@@ -56,32 +56,41 @@ def greedy_decode_batch(
     the result matches per-source :func:`greedy_decode` — but every step
     is a single batched model call, so the per-step python/numpy overhead
     is paid once per position instead of once per source.
+
+    Rows are physically dropped from the decode batch the moment they emit
+    EOS (via ``state.reorder``), so a source that finishes early stops
+    costing model work instead of being stepped as a zombie on its stale
+    pre-EOS token; results are re-scattered to input order at the end.
     """
     if isinstance(src, list):
         src = pad_sources(src, model.pad_id)
     src = np.atleast_2d(np.asarray(src))
     batch = src.shape[0]
     state = model.start(src)
+    # `live[i]` is the original source index of decode-batch row i.
+    live = np.arange(batch)
     last = np.full(batch, model.sos_id, dtype=np.int64)
     sequences: list[list[int]] = [[] for _ in range(batch)]
     log_probs = np.zeros(batch)
     finished = np.zeros(batch, dtype=bool)
     for _ in range(max_len):
-        if finished.all():
+        if live.size == 0:
             break
         logits, state = model.step(state, last)
-        step_log_probs = log_softmax_np(logits)  # (batch, vocab)
+        step_log_probs = log_softmax_np(logits)  # (live, vocab)
         choices = step_log_probs.argmax(axis=1)
-        for i in range(batch):
-            if finished[i]:
-                continue
-            token = int(choices[i])
-            log_probs[i] += float(step_log_probs[i, token])
-            if token == model.eos_id:
-                finished[i] = True
-            else:
-                sequences[i].append(token)
-                last[i] = token
+        log_probs[live] += step_log_probs[np.arange(live.size), choices]
+        hit_eos = choices == model.eos_id
+        finished[live[hit_eos]] = True
+        for row in np.nonzero(~hit_eos)[0]:
+            sequences[live[row]].append(int(choices[row]))
+        if hit_eos.any():
+            keep = np.nonzero(~hit_eos)[0]
+            state = state.reorder(keep, model)
+            live = live[keep]
+            last = choices[keep]
+        else:
+            last = choices
     return [
         Hypothesis(tokens=tuple(seq), log_prob=float(lp), finished=bool(done))
         for seq, lp, done in zip(sequences, log_probs, finished)

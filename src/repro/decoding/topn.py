@@ -5,6 +5,20 @@ sequence starts differently — the key diversity device.  Every later step,
 for each candidate independently, restricts to the n most likely next
 tokens, renormalizes, and samples one.  The result balances likelihood and
 diversity better than beam search for the rewriting pipeline.
+
+Implementation notes (see ``docs/DECODING.md`` for the full contract):
+
+* **Vectorized sampling** — each step masks, pools, renormalizes and
+  samples all candidates with batch numpy calls (:func:`sample_top_n_pools`)
+  instead of a per-row python loop, while consuming exactly one uniform
+  deviate per live candidate in row order — the same RNG stream as the
+  per-row ``rng.choice`` it replaced, so seeded decodes are byte-identical.
+* **Active-row compaction** — finished candidates are physically dropped
+  from the decode batch via ``state.reorder`` rather than stepped as dead
+  weight; results are re-scattered to candidate order at the end.
+* **Empty pools finish gracefully** — a candidate whose legal pool is
+  empty (every unblocked token at ``-inf``) is retired unfinished instead
+  of crashing on NaN sampling probabilities, and consumes no randomness.
 """
 
 from __future__ import annotations
@@ -14,6 +28,45 @@ import numpy as np
 from repro.decoding.hypothesis import Hypothesis
 from repro.decoding.logspace import log_softmax_np
 from repro.models.base import Seq2SeqModel, pad_sources
+
+
+def sample_top_n_pools(
+    rng: np.random.Generator, log_probs: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one token per row from each row's top-``n`` pool, vectorized.
+
+    ``log_probs`` is a (rows, vocab) array with blocked tokens already set
+    to ``-inf``.  Returns ``(choices, legal)``: ``legal[i]`` is False when
+    row ``i``'s pool contains no finite entry — such a row consumes no
+    randomness and its ``choices[i]`` is -1; callers retire it gracefully.
+
+    RNG contract: exactly one uniform deviate per legal row, drawn in row
+    order by a single batched ``rng.random`` call.  This is bit-compatible
+    with the per-row loop ``pool[rng.choice(len(pool), p=probs)]`` it
+    replaces: ``Generator.choice`` consumes one ``random()`` double and
+    picks by right-bisecting the renormalized cumulative distribution,
+    which is what the vectorized ``(cdf <= u).sum()`` computes.
+    """
+    rows, vocab = log_probs.shape
+    width = min(n, vocab)
+    part = np.argpartition(-log_probs, width - 1, axis=1)[:, :width]
+    vals = np.take_along_axis(log_probs, part, axis=1)
+    order = np.argsort(-vals, axis=1)
+    pool = np.take_along_axis(part, order, axis=1)
+    pool_logp = np.take_along_axis(vals, order, axis=1)
+    legal = np.isfinite(pool_logp[:, 0])
+    choices = np.full(rows, -1, dtype=np.int64)
+    if not legal.any():
+        return choices, legal
+    kept = pool_logp[legal]
+    weights = np.exp(kept - kept[:, :1])
+    weights /= weights.sum(axis=1, keepdims=True)
+    cdf = np.cumsum(weights, axis=1)
+    cdf /= cdf[:, -1:]
+    draws = rng.random(int(legal.sum()))
+    positions = (cdf <= draws[:, None]).sum(axis=1)
+    choices[legal] = pool[legal][np.arange(positions.size), positions]
+    return choices, legal
 
 
 def top_n_sampling(
@@ -27,6 +80,10 @@ def top_n_sampling(
 ) -> list[Hypothesis]:
     """Decode ``k`` diverse sequences for one source.
 
+    Implemented as :func:`top_n_sampling_batch` on a batch of one — the
+    two consume identical RNG streams, so a seeded single-source decode
+    returns exactly what the same seed returns for that source in a batch.
+
     Parameters
     ----------
     k:
@@ -39,63 +96,9 @@ def top_n_sampling(
     src = np.atleast_2d(np.asarray(src))
     if src.shape[0] != 1:
         raise ValueError("top_n_sampling expects a single source sequence")
-    if k <= 0 or n <= 0:
-        raise ValueError("k and n must be positive")
-    rng = rng or np.random.default_rng()
-    blocked = set(forbid_tokens) | {model.pad_id, model.sos_id}
-
-    state = model.start(src)
-    last = np.array([model.sos_id], dtype=np.int64)
-    logits, state = model.step(state, last)
-    first_log_probs = log_softmax_np(logits[0])
-
-    # Step 1 (Figure 4): the k most likely unique first tokens.  EOS and
-    # special tokens are not allowed to start a sequence.
-    order = np.argsort(-first_log_probs)
-    first_tokens = [
-        int(t) for t in order if int(t) not in blocked and int(t) != model.eos_id
-    ][:k]
-    if not first_tokens:
-        return []
-    actual_k = len(first_tokens)
-
-    state = state.reorder(np.zeros(actual_k, dtype=np.int64), model)
-    sequences: list[list[int]] = [[t] for t in first_tokens]
-    log_probs = np.array([float(first_log_probs[t]) for t in first_tokens])
-    alive = np.ones(actual_k, dtype=bool)
-    finished_flags = np.zeros(actual_k, dtype=bool)
-    last = np.array(first_tokens, dtype=np.int64)
-
-    for _ in range(max_len - 1):
-        if not alive.any():
-            break
-        logits, state = model.step(state, last)
-        step_log_probs = log_softmax_np(logits)  # (k, vocab)
-        next_tokens = last.copy()
-        for i in range(actual_k):
-            if not alive[i]:
-                continue
-            row = step_log_probs[i].copy()
-            for b in blocked:
-                row[b] = -np.inf
-            pool = np.argsort(-row)[:n]
-            pool_logp = row[pool]
-            probs = np.exp(pool_logp - pool_logp.max())
-            probs /= probs.sum()
-            choice = int(pool[rng.choice(len(pool), p=probs)])
-            log_probs[i] += float(row[choice])
-            if choice == model.eos_id:
-                alive[i] = False
-                finished_flags[i] = True
-            else:
-                sequences[i].append(choice)
-                next_tokens[i] = choice
-        last = next_tokens
-
-    return [
-        Hypothesis(tokens=tuple(seq), log_prob=float(lp), finished=bool(done))
-        for seq, lp, done in zip(sequences, log_probs, finished_flags)
-    ]
+    return top_n_sampling_batch(
+        model, src, k=k, n=n, max_len=max_len, rng=rng, forbid_tokens=forbid_tokens
+    )[0]
 
 
 def top_n_sampling_batch(
@@ -109,11 +112,17 @@ def top_n_sampling_batch(
 ) -> list[list[Hypothesis]]:
     """Decode ``k`` diverse sequences for *each* of a batch of sources.
 
-    The algorithm is :func:`top_n_sampling` applied to every source, but
-    all candidates of all sources are stacked into one flat decode batch:
-    a batch of B sources costs the same number of model calls as a single
-    source, with B·k rows per call instead of k.  This is the model-tier
-    hot path of ``ServingPipeline.serve_batch``.
+    The algorithm is the paper's top-n sampling applied to every source,
+    but all candidates of all sources are stacked into one flat decode
+    batch: a batch of B sources costs the same number of model calls as a
+    single source, with at most B·k rows per call instead of k.  This is
+    the model-tier hot path of ``ServingPipeline.serve_batch``.
+
+    Candidates that finish (EOS, or an empty legal pool) are compacted out
+    of the decode batch with ``state.reorder``, so the per-step row count
+    only shrinks; each step then samples every surviving candidate with
+    one vectorized pool draw (:func:`sample_top_n_pools`), preserving the
+    one-uniform-per-candidate RNG stream of the original per-row loop.
 
     ``src`` is a padded (batch, seq) array or a list of variable-length id
     lists (padded internally).  Returns one hypothesis list per source, in
@@ -127,6 +136,7 @@ def top_n_sampling_batch(
         raise ValueError("k and n must be positive")
     rng = rng or np.random.default_rng()
     blocked = set(forbid_tokens) | {model.pad_id, model.sos_id}
+    blocked_cols = np.fromiter(blocked, dtype=np.int64)
     batch = src.shape[0]
 
     state = model.start(src)
@@ -135,7 +145,7 @@ def top_n_sampling_batch(
     first_log_probs = log_softmax_np(logits)  # (batch, vocab)
 
     # Step 1 per source: the k most likely unique first tokens.
-    owner: list[int] = []  # source index of each flat candidate row
+    owner: list[int] = []  # source index of each flat candidate slot
     first_tokens: list[int] = []
     for s in range(batch):
         order = np.argsort(-first_log_probs[s])
@@ -153,35 +163,34 @@ def top_n_sampling_batch(
     log_probs = np.array(
         [float(first_log_probs[s, t]) for s, t in zip(owner, first_tokens)]
     )
-    alive = np.ones(flat, dtype=bool)
     finished_flags = np.zeros(flat, dtype=bool)
+    # `slots[i]` maps live decode-batch row i back to its candidate slot;
+    # compaction keeps rows in ascending slot order, which is what keeps
+    # the RNG draw order identical to the uncompacted per-row loop.
+    slots = np.arange(flat)
     last = np.array(first_tokens, dtype=np.int64)
 
     for _ in range(max_len - 1):
-        if not alive.any():
+        if slots.size == 0:
             break
         logits, state = model.step(state, last)
-        step_log_probs = log_softmax_np(logits)  # (flat, vocab)
-        next_tokens = last.copy()
-        for i in range(flat):
-            if not alive[i]:
-                continue
-            row = step_log_probs[i].copy()
-            for b in blocked:
-                row[b] = -np.inf
-            pool = np.argsort(-row)[:n]
-            pool_logp = row[pool]
-            probs = np.exp(pool_logp - pool_logp.max())
-            probs /= probs.sum()
-            choice = int(pool[rng.choice(len(pool), p=probs)])
-            log_probs[i] += float(row[choice])
-            if choice == model.eos_id:
-                alive[i] = False
-                finished_flags[i] = True
-            else:
-                sequences[i].append(choice)
-                next_tokens[i] = choice
-        last = next_tokens
+        step_log_probs = log_softmax_np(logits)  # (live, vocab)
+        step_log_probs[:, blocked_cols] = -np.inf
+        choices, legal = sample_top_n_pools(rng, step_log_probs, n)
+        legal_rows = np.nonzero(legal)[0]
+        log_probs[slots[legal_rows]] += step_log_probs[legal_rows, choices[legal_rows]]
+        hit_eos = legal & (choices == model.eos_id)
+        finished_flags[slots[hit_eos]] = True
+        keep = legal & ~hit_eos
+        for row in np.nonzero(keep)[0]:
+            sequences[slots[row]].append(int(choices[row]))
+        if keep.all():
+            last = choices
+        else:
+            kept_rows = np.nonzero(keep)[0]
+            state = state.reorder(kept_rows, model)
+            slots = slots[kept_rows]
+            last = choices[kept_rows]
 
     grouped: list[list[Hypothesis]] = [[] for _ in range(batch)]
     for i in range(flat):

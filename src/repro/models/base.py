@@ -64,6 +64,23 @@ class Seq2SeqModel(Module):
         self.pad_id = pad_id
         self.sos_id = sos_id
         self.eos_id = eos_id
+        #: decode telemetry: number of ``step`` calls since the last reset
+        self.decode_steps = 0
+        #: decode telemetry: total rows stepped (sum of batch sizes across
+        #: ``step`` calls) — with active-row compaction this grows strictly
+        #: slower than ``decode_steps * batch``, which is the observable
+        #: win the serving tier mirrors into its stats
+        self.decode_rows = 0
+
+    def _count_step(self, rows: int) -> None:
+        """Tally one ``step`` call over ``rows`` batch rows."""
+        self.decode_steps += 1
+        self.decode_rows += rows
+
+    def reset_decode_counters(self) -> None:
+        """Zero the decode telemetry (callers sample deltas around decodes)."""
+        self.decode_steps = 0
+        self.decode_rows = 0
 
     # -- training view ------------------------------------------------------
     def forward(self, src: np.ndarray, tgt_in: np.ndarray) -> Tensor:  # pragma: no cover

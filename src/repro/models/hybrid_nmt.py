@@ -78,17 +78,36 @@ class HybridNMT(Seq2SeqModel):
         return stack(step_logits, axis=1)
 
     # -- decoding view ----------------------------------------------------------
-    def start(self, src: np.ndarray) -> DecodeState:
+    def start(self, src: np.ndarray, use_cache: bool = True) -> DecodeState:
+        """Encode ``src`` once; optionally precompute attention keys.
+
+        The transformer half (the encoder) runs exactly once either way.
+        With ``use_cache=True`` the additive attention's key projection of
+        the memory — the only per-step quantity that does not depend on
+        the decode prefix — is computed here and reused every step,
+        byte-identically.  ``use_cache=False`` re-projects per step (the
+        seed cost profile, kept as the measured baseline).
+        """
         src = np.asarray(src)
         with no_grad():
             memory, pad_mask, _ = self.encode(src)
             hidden = self._initial_hidden(memory, pad_mask)
-        return DecodeState(
-            batch_size=src.shape[0],
-            payload={"hidden": hidden.data, "memory": memory.data, "mem_pad": pad_mask},
-        )
+            payload = {
+                "hidden": hidden.data,
+                "memory": memory.data,
+                "mem_pad": pad_mask,
+            }
+            if use_cache:
+                payload["mem_keys"] = self.decoder.attention.project_keys(memory)
+        return DecodeState(batch_size=src.shape[0], payload=payload)
 
     def step(self, state: DecodeState, last_tokens: np.ndarray) -> tuple[np.ndarray, DecodeState]:
+        """One recurrent decode step (constant cost in the prefix length).
+
+        Reuses the cached attention key projection when the state carries
+        one; outputs are byte-identical with or without the cache.
+        """
+        self._count_step(state.batch_size)
         with no_grad():
             embedded = self.embedding(np.asarray(last_tokens).reshape(-1, 1))[:, 0, :]
             output, hidden = self.decoder.step(
@@ -96,25 +115,17 @@ class HybridNMT(Seq2SeqModel):
                 Tensor(state.payload["hidden"]),
                 memory=Tensor(state.payload["memory"]),
                 memory_pad_mask=state.payload["mem_pad"],
+                projected_keys=state.payload.get("mem_keys"),
             )
             logits = self.output_proj(output)
-        new_state = DecodeState(
-            batch_size=state.batch_size,
-            payload={
-                "hidden": hidden.data,
-                "memory": state.payload["memory"],
-                "mem_pad": state.payload["mem_pad"],
-            },
-        )
+        new_payload = dict(state.payload)
+        new_payload["hidden"] = hidden.data
+        new_state = DecodeState(batch_size=state.batch_size, payload=new_payload)
         return logits.data, new_state
 
     def reorder_state(self, state: DecodeState, index: np.ndarray) -> DecodeState:
-        payload = state.payload
+        """Select/duplicate batch rows, cached attention keys included."""
         return DecodeState(
             batch_size=len(index),
-            payload={
-                "hidden": payload["hidden"][index],
-                "memory": payload["memory"][index],
-                "mem_pad": payload["mem_pad"][index],
-            },
+            payload={key: value[index] for key, value in state.payload.items()},
         )

@@ -78,31 +78,53 @@ class DecoderOnlyLM(Module):
         """Top-n sample a continuation until a stop token or the budget.
 
         Returns only the newly generated ids (stop token excluded).  The
-        full prefix is re-encoded each step — same cost profile as the
-        transformer decoder in Table V.
+        prompt is encoded once to prime per-layer self-attention K/V
+        caches; each subsequent step feeds only the newest token through
+        the block stack (O(prefix) instead of the seed's O(prefix²)
+        full re-encode).  A step whose legal pool is empty (every
+        unblocked token at ``-inf``) stops generation gracefully instead
+        of crashing on NaN sampling probabilities, and consumes no
+        randomness.
         """
+        from repro.decoding.topn import sample_top_n_pools
+
         rng = rng or np.random.default_rng()
         forbid_ids = forbid_ids or set()
         generated: list[int] = []
         context = list(prefix_ids)
+        prompt = np.array([context])
+        seq_len = prompt.shape[1]
+        mask = causal_mask(seq_len) | padding_mask(prompt, self.pad_id)
+        with no_grad():
+            hidden, caches = self.blocks.forward_and_cache(
+                self.positional(self.embedding(prompt) * self._embed_scale), mask=mask
+            )
+            logits = self.output_proj(hidden[:, -1, :]).data[0]
         for _ in range(max_new_tokens):
             if len(context) >= self.config.max_len:
                 break
-            with no_grad():
-                logits = self.forward(np.array([context])).data[0, -1]
             logits = logits.copy()
             logits[self.pad_id] = -np.inf
             for banned in forbid_ids:
                 logits[banned] = -np.inf
-            pool = np.argsort(-logits)[:top_n]
-            pool_logits = logits[pool]
-            probs = np.exp(pool_logits - pool_logits.max())
-            probs /= probs.sum()
-            token = int(pool[rng.choice(len(pool), p=probs)])
+            choices, legal = sample_top_n_pools(rng, logits[None, :], top_n)
+            if not legal[0]:
+                break
+            token = int(choices[0])
             if token in stop_ids:
                 break
             generated.append(token)
             context.append(token)
+            if len(context) >= self.config.max_len:
+                break
+            with no_grad():
+                x = self.positional(
+                    self.embedding(np.array([[token]])) * self._embed_scale,
+                    offset=len(context) - 1,
+                )
+                key_mask = (np.array([context]) == self.pad_id)[:, None, None, :]
+                hidden, caches = self.blocks.step(x, caches, key_mask=key_mask)
+                logits = self.output_proj(hidden[:, 0, :]).data[0]
         return generated
 
     def generate_batch(
@@ -147,6 +169,12 @@ class DecoderOnlyLM(Module):
                     logits[banned] = -np.inf
                 pool = np.argsort(-logits)[:top_n]
                 pool_logits = logits[pool]
+                if not np.isfinite(pool_logits[0]):
+                    # Empty legal pool: every unblocked token is -inf.
+                    # Retire the row without consuming randomness instead
+                    # of renormalizing to NaN and crashing in rng.choice.
+                    active[i] = False
+                    continue
                 probs = np.exp(pool_logits - pool_logits.max())
                 probs /= probs.sum()
                 token = int(pool[rng.choice(len(pool), p=probs)])

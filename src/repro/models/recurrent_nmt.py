@@ -96,20 +96,27 @@ class RecurrentNMT(Seq2SeqModel):
         return stack(step_logits, axis=1)
 
     # -- decoding view ---------------------------------------------------------------
-    def start(self, src: np.ndarray) -> DecodeState:
+    def start(self, src: np.ndarray, use_cache: bool = True) -> DecodeState:
+        """Encode ``src``; with ``use_cache=True``, precompute the
+        additive attention's key projection of the memory so each decode
+        step skips the one sub-computation that never changes
+        (byte-identical outputs either way; no-op without attention).
+        """
         src = np.asarray(src)
         with no_grad():
             memory, final, pad_mask = self.encode(src)
-        return DecodeState(
-            batch_size=src.shape[0],
-            payload={
+            payload = {
                 "hidden": final.data,
                 "memory": memory.data,
                 "mem_pad": pad_mask,
-            },
-        )
+            }
+            if use_cache and self.use_attention:
+                payload["mem_keys"] = self.decoder.attention.project_keys(memory)
+        return DecodeState(batch_size=src.shape[0], payload=payload)
 
     def step(self, state: DecodeState, last_tokens: np.ndarray) -> tuple[np.ndarray, DecodeState]:
+        """One recurrent decode step (constant cost in the prefix length)."""
+        self._count_step(state.batch_size)
         with no_grad():
             embedded = self.embedding(np.asarray(last_tokens).reshape(-1, 1))[:, 0, :]
             output, hidden = self.decoder.step(
@@ -117,27 +124,21 @@ class RecurrentNMT(Seq2SeqModel):
                 Tensor(state.payload["hidden"]),
                 memory=Tensor(state.payload["memory"]) if self.use_attention else None,
                 memory_pad_mask=state.payload["mem_pad"] if self.use_attention else None,
+                projected_keys=(
+                    state.payload.get("mem_keys") if self.use_attention else None
+                ),
             )
             logits = self.output_proj(output)
-        new_state = DecodeState(
-            batch_size=state.batch_size,
-            payload={
-                "hidden": hidden.data,
-                "memory": state.payload["memory"],
-                "mem_pad": state.payload["mem_pad"],
-            },
-        )
+        new_payload = dict(state.payload)
+        new_payload["hidden"] = hidden.data
+        new_state = DecodeState(batch_size=state.batch_size, payload=new_payload)
         return logits.data, new_state
 
     def reorder_state(self, state: DecodeState, index: np.ndarray) -> DecodeState:
-        payload = state.payload
+        """Select/duplicate batch rows, cached attention keys included."""
         return DecodeState(
             batch_size=len(index),
-            payload={
-                "hidden": payload["hidden"][index],
-                "memory": payload["memory"][index],
-                "mem_pad": payload["mem_pad"][index],
-            },
+            payload={key: value[index] for key, value in state.payload.items()},
         )
 
     # -- introspection ------------------------------------------------------------

@@ -58,6 +58,45 @@ class MultiHeadAttention(Module):
         batch, heads, seq, d_head = x.shape
         return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * d_head)
 
+    def project_kv(self, x: Tensor) -> tuple[np.ndarray, np.ndarray]:
+        """Project ``x`` through the K/V heads once, for reuse across steps.
+
+        Returns plain ``(batch, heads, seq, d_head)`` arrays — the exact
+        keys/values :meth:`forward` would compute from the same input — so
+        incremental decoders can cache them in a
+        :class:`~repro.models.base.DecodeState` instead of re-projecting
+        the whole prefix (or the whole encoder memory) every step.
+        """
+        return (
+            self._split_heads(self.k_proj(x)).data,
+            self._split_heads(self.v_proj(x)).data,
+        )
+
+    def attend_cached(
+        self,
+        query: Tensor,
+        k: np.ndarray,
+        v: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend from ``query`` over *precomputed* keys/values.
+
+        ``k``/``v`` are ``(batch, heads, k_len, d_head)`` arrays from
+        :meth:`project_kv` (possibly grown one position per decode step).
+        The math is identical to :meth:`forward` with the projections
+        skipped, so cached decoding reproduces the uncached logits up to
+        float reassociation from the different matmul shapes.
+        """
+        q = self._split_heads(self.q_proj(query))
+        scores = (q @ Tensor(k).swapaxes(-1, -2)) * (self.d_head**-0.5)
+        if mask is not None:
+            scores = scores.masked_fill(mask, _NEG_INF)
+        weights = scores.softmax(axis=-1)
+        self.last_weights = weights.data.copy()
+        weights = self.attn_dropout(weights)
+        context = self._merge_heads(weights @ Tensor(v))
+        return self.out_proj(context)
+
     def forward(
         self,
         query: Tensor,

@@ -117,12 +117,21 @@ class RecurrentDecoderCell(Module):
         hidden: Tensor,
         memory: Tensor | None = None,
         memory_pad_mask: np.ndarray | None = None,
+        projected_keys: np.ndarray | None = None,
     ) -> tuple[Tensor, Tensor]:
-        """Advance one step; returns ``(output, new_hidden)``."""
+        """Advance one step; returns ``(output, new_hidden)``.
+
+        ``projected_keys`` optionally carries the attention's
+        once-per-decode key projection of ``memory`` (see
+        :meth:`AdditiveAttention.project_keys`); omitting it re-projects
+        the memory this step, byte-identically.
+        """
         if self.attention is not None:
             if memory is None:
                 raise ValueError("attention decoder requires encoder memory")
-            context, _ = self.attention(hidden, memory, memory_pad_mask)
+            context, _ = self.attention(
+                hidden, memory, memory_pad_mask, projected_keys=projected_keys
+            )
             x = concat([embedded_token, context], axis=-1)
         else:
             x = embedded_token
@@ -149,15 +158,35 @@ class AdditiveAttention(Module):
         self.v = Parameter(init.xavier_uniform((attn_size, 1), rng))
         self.last_weights: np.ndarray | None = None
 
+    def project_keys(self, memory: Tensor) -> np.ndarray:
+        """Project ``memory`` through the key head once, for reuse.
+
+        The key projection depends only on the (fixed) encoder memory, so
+        incremental decoders compute it once in ``start()`` and pass it
+        back through :meth:`forward` every step — the additive-attention
+        analogue of transformer cross-attention K/V caching.  Returns a
+        plain ``(batch, seq, attn)`` array.
+        """
+        return self.k_proj(memory).data
+
     def forward(
         self,
         query: Tensor,
         memory: Tensor,
         memory_pad_mask: np.ndarray | None = None,
+        projected_keys: np.ndarray | None = None,
     ) -> tuple[Tensor, Tensor]:
-        """``query`` is ``(batch, q)``; ``memory`` is ``(batch, seq, k)``."""
+        """``query`` is ``(batch, q)``; ``memory`` is ``(batch, seq, k)``.
+
+        ``projected_keys``, when given, must be
+        :meth:`project_keys`'s output for this memory; the scores it
+        yields are byte-identical to re-projecting in place.
+        """
         q = self.q_proj(query)[:, None, :]  # (batch, 1, attn)
-        k = self.k_proj(memory)  # (batch, seq, attn)
+        if projected_keys is not None:
+            k = Tensor(projected_keys)  # (batch, seq, attn), cached
+        else:
+            k = self.k_proj(memory)  # (batch, seq, attn)
         scores = ((q + k).tanh() @ self.v)[:, :, 0]  # (batch, seq)
         if memory_pad_mask is not None:
             scores = scores.masked_fill(memory_pad_mask, -1e9)

@@ -64,6 +64,44 @@ class TransformerEncoderLayer(Module):
         x = x + self.dropout(self.ff(self.norm2(x)))
         return x
 
+    def forward_and_cache(
+        self, x: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, tuple[np.ndarray, np.ndarray]]:
+        """Full-sequence forward that also returns the self-attention K/V.
+
+        Used to *prime* an incremental cache from an existing prefix (the
+        causal LM's prompt): the output equals :meth:`forward` and the
+        returned ``(k, v)`` pair seeds :meth:`step`'s cache.
+        """
+        normed = self.norm1(x)
+        k, v = self.self_attn.project_kv(normed)
+        x = x + self.dropout(self.self_attn.attend_cached(normed, k, v, mask=mask))
+        x = x + self.dropout(self.ff(self.norm2(x)))
+        return x, (k, v)
+
+    def step(
+        self,
+        x: Tensor,
+        cache: tuple[np.ndarray, np.ndarray],
+        key_mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, tuple[np.ndarray, np.ndarray]]:
+        """Advance one position with a self-attention K/V cache.
+
+        ``x`` is the newest position only, ``(batch, 1, d_model)``; the
+        cached keys/values cover every earlier position.  Because the
+        newest query may attend to the whole (pad-masked) past plus
+        itself, no causal mask is needed — ``key_mask`` only blocks pad
+        key columns, broadcastable to ``(batch, 1, 1, cached+1)``.
+        Returns the block output and the grown cache.
+        """
+        normed = self.norm1(x)
+        k_new, v_new = self.self_attn.project_kv(normed)
+        k = np.concatenate([cache[0], k_new], axis=2)
+        v = np.concatenate([cache[1], v_new], axis=2)
+        x = x + self.dropout(self.self_attn.attend_cached(normed, k, v, mask=key_mask))
+        x = x + self.dropout(self.ff(self.norm2(x)))
+        return x, (k, v)
+
 
 class TransformerDecoderLayer(Module):
     """Masked self-attention + cross-attention + feed-forward block."""
@@ -100,6 +138,42 @@ class TransformerDecoderLayer(Module):
         x = x + self.dropout(self.ff(self.norm3(x)))
         return x
 
+    def step(
+        self,
+        x: Tensor,
+        cross_kv: tuple[np.ndarray, np.ndarray],
+        self_cache: tuple[np.ndarray, np.ndarray],
+        self_key_mask: np.ndarray | None = None,
+        memory_mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, tuple[np.ndarray, np.ndarray]]:
+        """Advance one decode position with K/V caches.
+
+        ``x`` is the newest target position, ``(batch, 1, d_model)``.
+        ``cross_kv`` holds this layer's cross-attention projections of the
+        encoder memory (computed once per decode, see
+        :meth:`TransformerDecoder.project_memory`); ``self_cache`` holds
+        the self-attention K/V of every earlier target position.  The
+        newest position may attend to the entire cached prefix plus
+        itself, so causality is structural and ``self_key_mask`` only
+        blocks pad key columns.  Returns the block output and the grown
+        self-attention cache.
+        """
+        normed = self.norm1(x)
+        k_new, v_new = self.self_attn.project_kv(normed)
+        k = np.concatenate([self_cache[0], k_new], axis=2)
+        v = np.concatenate([self_cache[1], v_new], axis=2)
+        x = x + self.dropout(
+            self.self_attn.attend_cached(normed, k, v, mask=self_key_mask)
+        )
+        normed = self.norm2(x)
+        x = x + self.dropout(
+            self.cross_attn.attend_cached(
+                normed, cross_kv[0], cross_kv[1], mask=memory_mask
+            )
+        )
+        x = x + self.dropout(self.ff(self.norm3(x)))
+        return x, (k, v)
+
 
 class TransformerEncoder(Module):
     """Stack of encoder layers with a final LayerNorm."""
@@ -125,6 +199,40 @@ class TransformerEncoder(Module):
         for layer in self.layers:
             x = layer(x, mask=mask)
         return self.final_norm(x)
+
+    def forward_and_cache(
+        self, x: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, list[tuple[np.ndarray, np.ndarray]]]:
+        """Full-sequence forward that also returns per-layer K/V caches.
+
+        Primes incremental decoding from an existing prefix (the causal
+        LM's prompt): the output equals :meth:`forward`, and the caches
+        seed :meth:`step`.
+        """
+        caches: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            x, kv = layer.forward_and_cache(x, mask=mask)
+            caches.append(kv)
+        return self.final_norm(x), caches
+
+    def step(
+        self,
+        x: Tensor,
+        caches: list[tuple[np.ndarray, np.ndarray]],
+        key_mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, list[tuple[np.ndarray, np.ndarray]]]:
+        """Advance one position through the stack with K/V caches.
+
+        Used for causal (GPT-style) decoding, where this encoder stack
+        runs under a causal mask: ``x`` is the newest position only and
+        ``key_mask`` blocks pad key columns, ``(batch, 1, 1, cached+1)``.
+        Returns the final-normed output and the grown per-layer caches.
+        """
+        new_caches: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer, cache in zip(self.layers, caches):
+            x, grown = layer.step(x, cache, key_mask=key_mask)
+            new_caches.append(grown)
+        return self.final_norm(x), new_caches
 
 
 class TransformerDecoder(Module):
@@ -161,6 +269,45 @@ class TransformerDecoder(Module):
         for layer in self.layers:
             x = layer(x, memory, self_mask=self_mask, memory_mask=memory_mask)
         return self.final_norm(x)
+
+    def project_memory(
+        self, memory: Tensor
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-layer cross-attention K/V projections of encoder memory.
+
+        Computed once per decode in a model's ``start()``; every
+        subsequent :meth:`step` reuses them instead of re-projecting the
+        (unchanging) memory.  One ``(k, v)`` pair per layer.
+        """
+        return [layer.cross_attn.project_kv(memory) for layer in self.layers]
+
+    def step(
+        self,
+        x: Tensor,
+        cross_kv: list[tuple[np.ndarray, np.ndarray]],
+        self_caches: list[tuple[np.ndarray, np.ndarray]],
+        self_key_mask: np.ndarray | None = None,
+        memory_mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, list[tuple[np.ndarray, np.ndarray]]]:
+        """Advance one decode position through the whole stack.
+
+        ``x`` is the newest target position, ``(batch, 1, d_model)``;
+        ``cross_kv``/``self_caches`` hold one entry per layer.  Returns
+        the final-normed output for that position and the grown per-layer
+        self-attention caches.  Per-step cost is O(prefix) — the
+        incremental path that replaces re-decoding the full prefix.
+        """
+        new_caches: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer, layer_cross, layer_cache in zip(self.layers, cross_kv, self_caches):
+            x, grown = layer.step(
+                x,
+                layer_cross,
+                layer_cache,
+                self_key_mask=self_key_mask,
+                memory_mask=memory_mask,
+            )
+            new_caches.append(grown)
+        return self.final_norm(x), new_caches
 
     @property
     def cross_attention_weights(self) -> list[np.ndarray]:

@@ -24,6 +24,7 @@ PACKAGES = (
     "repro.store",
     "repro.cluster",
     "repro.gateway",
+    "repro.decoding",
 )
 
 

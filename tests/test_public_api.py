@@ -177,6 +177,48 @@ def test_gateway_surface():
     assert envelope.status == 400
 
 
+def test_decoding_surface():
+    """The decode loop is part of repro.decoding's public contract."""
+    from repro import decoding
+
+    for symbol in (
+        "Hypothesis",
+        "greedy_decode",
+        "greedy_decode_batch",
+        "top_n_sampling",
+        "top_n_sampling_batch",
+        "sample_top_n_pools",
+        "beam_search",
+        "beam_search_batch",
+        "diverse_beam_search",
+    ):
+        assert symbol in decoding.__all__, symbol
+        assert hasattr(decoding, symbol), symbol
+
+    # The frozen seed implementations stay importable: they are the
+    # equivalence oracle and the benchmark baseline, not dead code.
+    from repro.decoding import reference
+
+    for symbol in (
+        "start_uncached",
+        "greedy_decode_batch_reference",
+        "top_n_sampling_reference",
+        "top_n_sampling_batch_reference",
+        "beam_search_reference",
+        "beam_search_batch_reference",
+    ):
+        assert callable(getattr(reference, symbol)), symbol
+
+    # Models expose the decode-work gauges the compaction contract
+    # reports through ServingStats.
+    from repro.models import HybridNMT, RecurrentNMT, TransformerNMT
+    from repro.models.base import Seq2SeqModel
+
+    for cls in (TransformerNMT, HybridNMT, RecurrentNMT):
+        assert issubclass(cls, Seq2SeqModel)
+        assert callable(getattr(cls, "reset_decode_counters")), cls.__name__
+
+
 def test_store_surface():
     """The persistence layer is part of repro.store's public contract."""
     from repro import store
